@@ -1,0 +1,99 @@
+// Ablations beyond the paper's tables (DESIGN.md §3): which design choices
+// carry the system?
+//   1. EM refinement of P(p|t) vs the Eq. 23 initialization alone.
+//   2. Entity-value refinement (UIUC answer-type filter) on vs off.
+//   3. Predicate expansion length k = 1 vs 2 vs 3 (k=1 cannot reach CVT
+//      intents like spouse/ceo/members at all).
+// Each variant retrains the full system and is evaluated on the same
+// BFQ-only benchmark.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace kbqa;
+
+struct Variant {
+  std::string name;
+  core::KbqaOptions options;
+};
+
+}  // namespace
+
+int main() {
+  corpus::WorldConfig world_config;
+  world_config.schema.scale = 0.5;
+  std::printf("[setup] generating ablation world...\n");
+  corpus::World world = corpus::GenerateWorld(world_config);
+  corpus::QaGenConfig corpus_config;
+  corpus_config.num_pairs = 30000;
+  corpus::QaCorpus corpus = corpus::GenerateTrainingCorpus(world, corpus_config);
+
+  corpus::BenchmarkConfig bench_config;
+  bench_config.num_questions = 300;
+  bench_config.bfq_ratio = 1.0;
+  bench_config.seed = 999;
+  corpus::BenchmarkSet bfqs = corpus::GenerateBenchmark(world, bench_config);
+
+  std::vector<Variant> variants;
+  {
+    Variant full{"full system (EM + refine + k=3)", core::KbqaOptions()};
+    variants.push_back(full);
+
+    Variant no_em = full;
+    no_em.name = "init-only (no EM iterations)";
+    no_em.options.em.run_em = false;
+    variants.push_back(no_em);
+
+    Variant no_refine = full;
+    no_refine.name = "no answer-type refinement";
+    no_refine.options.ev.refine_by_question_class = false;
+    variants.push_back(no_refine);
+
+    Variant k1 = full;
+    k1.name = "expansion k=1 (direct predicates only)";
+    k1.options.expansion.max_length = 1;
+    variants.push_back(k1);
+
+    Variant k2 = full;
+    k2.name = "expansion k=2";
+    k2.options.expansion.max_length = 2;
+    variants.push_back(k2);
+  }
+
+  TablePrinter table("Ablation: contribution of each design choice (BFQ-only benchmark)");
+  table.SetHeader({"variant", "#templates", "R_BFQ", "P", "P*"});
+  for (const Variant& variant : variants) {
+    Timer timer;
+    core::KbqaSystem kbqa(&world, variant.options);
+    Status status = kbqa.Train(corpus);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: training failed: %s\n", variant.name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    eval::RunResult run = eval::RunBenchmark(kbqa, bfqs);
+    table.AddRow({variant.name,
+                  TablePrinter::Int(kbqa.template_store().num_templates()),
+                  TablePrinter::Num(run.counts.RBfq(), 2),
+                  TablePrinter::Num(run.counts.P(), 2),
+                  TablePrinter::Num(run.counts.PStar(), 2)});
+    std::printf("[run] %-40s trained+evaluated in %.1fs\n",
+                variant.name.c_str(), timer.ElapsedSeconds());
+  }
+
+  table.Print(std::cout);
+  bench::PrintPaperNote(
+      "expected shape: k=1 loses every CVT intent (spouse/capital/ceo/"
+      "members) -> large recall drop; k=2 recovers direct-relation intents "
+      "(capital) but not CVT chains; dropping refinement admits noisy "
+      "(entity, value) pairs -> precision dip; init-only theta leaves "
+      "ambiguous templates unresolved -> precision dip on shared "
+      "phrasings.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef KBQA_BENCH_BENCH_COMMON_H_
+#define KBQA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace kbqa::bench {
+
+/// Builds the standard experiment used by every table bench, printing
+/// setup progress. Terminates the process on failure (benches have no
+/// recovery path).
+inline std::unique_ptr<eval::Experiment> BuildStandardExperiment() {
+  std::printf("[setup] generating world + corpus and training KBQA...\n");
+  Timer timer;
+  auto built = eval::Experiment::Build(eval::ExperimentConfig::Standard());
+  if (!built.ok()) {
+    std::fprintf(stderr, "experiment build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto experiment = std::move(built).value();
+  std::printf(
+      "[setup] done in %.1fs: %zu KB triples, %zu QA pairs, %zu templates, "
+      "%zu predicates\n",
+      timer.ElapsedSeconds(), experiment->world().kb.num_triples(),
+      experiment->train_corpus().size(),
+      experiment->kbqa().template_store().num_templates(),
+      experiment->kbqa().em_stats().num_predicates);
+  return experiment;
+}
+
+/// Prints the paper's reported numbers as context above a measured table.
+inline void PrintPaperNote(const char* note) {
+  std::printf("\n[paper] %s\n", note);
+}
+
+/// One row of a QALD-style effectiveness table.
+struct QaldRow {
+  std::string system;
+  eval::RunResult run;
+};
+
+/// Prints a QALD-style table (Tables 7/8/9 columns): #pro #ri #par R R*
+/// R_BFQ R*_BFQ P P*. `paper_rows` are literal reference rows from the
+/// paper, rendered above the measured ones.
+inline void PrintQaldTable(const std::string& title,
+                           const std::vector<std::vector<std::string>>&
+                               paper_rows,
+                           const std::vector<QaldRow>& rows,
+                           std::ostream& os) {
+  TablePrinter table(title);
+  table.SetHeader({"system", "#pro", "#ri", "#par", "R", "R*", "R_BFQ",
+                   "R*_BFQ", "P", "P*"});
+  for (const auto& row : paper_rows) table.AddRow(row);
+  for (const QaldRow& row : rows) {
+    const eval::QaldCounts& c = row.run.counts;
+    const eval::QaldCounts& b = row.run.bfq_only;
+    table.AddRow({row.system, TablePrinter::Int(c.pro),
+                  TablePrinter::Int(c.ri), TablePrinter::Int(c.par),
+                  TablePrinter::Num(c.R(), 2), TablePrinter::Num(c.RStar(), 2),
+                  TablePrinter::Num(b.R(), 2),
+                  TablePrinter::Num(b.RStar(), 2),
+                  TablePrinter::Num(c.P(), 2),
+                  TablePrinter::Num(c.PStar(), 2)});
+  }
+  table.Print(os);
+}
+
+}  // namespace kbqa::bench
+
+#endif  // KBQA_BENCH_BENCH_COMMON_H_

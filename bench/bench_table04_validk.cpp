@@ -1,0 +1,81 @@
+// Table 4 (§6.3): valid(k) — how many expanded predicates of length k have
+// an Infobox correspondence. The paper observed a sharp drop at k = 3
+// (KBA: 14005 / 16028 / 2438), which is why KBQA sets k = 3 as the
+// expansion limit. This bench regenerates the same analysis on the
+// synthetic world, plus a k = 4 extension point.
+//
+// No QA training is needed: this is a pure KB/Infobox experiment.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "corpus/world_generator.h"
+#include "rdf/expanded_predicate.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kbqa;
+
+  std::printf("[setup] generating world...\n");
+  corpus::WorldConfig config;
+  corpus::World world = corpus::GenerateWorld(config);
+  std::printf("[setup] %zu entities, %zu triples, infobox: %zu facts\n",
+              world.kb.num_entities(), world.kb.num_triples(),
+              world.infobox.num_facts());
+
+  // The paper samples the top 17000 entities by frequency (#triples with
+  // e = s); we scale that to the top 20% of our world.
+  std::vector<rdf::TermId> entities = world.kb.AllEntities();
+  std::sort(entities.begin(), entities.end(),
+            [&](rdf::TermId a, rdf::TermId b) {
+              return world.kb.OutDegree(a) > world.kb.OutDegree(b);
+            });
+  entities.resize(std::max<size_t>(1, entities.size() / 5));
+  std::printf("[setup] sampling top %zu entities by out-degree\n",
+              entities.size());
+
+  TablePrinter table("Table 4: valid(k) — expanded predicates with an Infobox correspondence");
+  table.SetHeader({"k", "expanded triples (len=k)", "valid(k)",
+                   "valid fraction"});
+
+  for (int k = 1; k <= 4; ++k) {
+    rdf::ExpansionOptions options;
+    options.max_length = k;
+    Timer timer;
+    auto ekb = rdf::ExpandedKb::Build(world.kb, entities, world.name_like,
+                                      options);
+    if (!ekb.ok()) {
+      std::fprintf(stderr, "expansion failed at k=%d: %s\n", k,
+                   ekb.status().ToString().c_str());
+      return 1;
+    }
+    size_t total = 0;
+    size_t valid = 0;
+    ekb.value().ForEachTriple([&](const rdf::ExpandedTriple& triple) {
+      if (ekb.value().paths().GetPath(triple.path).size() !=
+          static_cast<size_t>(k)) {
+        return;
+      }
+      ++total;
+      if (world.infobox.Contains(triple.s, triple.o)) ++valid;
+    });
+    table.AddRow({TablePrinter::Int(k), TablePrinter::Int(total),
+                  TablePrinter::Int(valid),
+                  total == 0 ? "-" : TablePrinter::Num(
+                                         static_cast<double>(valid) / total, 3)});
+    std::printf("[run] k=%d expanded in %.2fs\n", k, timer.ElapsedSeconds());
+  }
+
+  bench::PrintPaperNote(
+      "Table 4 reports valid(k) = 14005 / 16028 / 2438 on KBA and "
+      "352811 / 496964 / 2364 on DBpedia for k = 1/2/3 — a sharp drop at "
+      "k = 3. The reproduction checks the same *shape*: valid counts grow "
+      "from k=1 to k=2, then collapse at k>=3 (only CVT-mediated facts "
+      "like marriage -> person -> name stay valid).");
+  table.Print(std::cout);
+  return 0;
+}

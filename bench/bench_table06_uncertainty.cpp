@@ -1,0 +1,116 @@
+// Table 6 (§7.2): average number of candidate choices at each random
+// variable of the probabilistic pipeline — the uncertainty that justifies
+// the probabilistic framework. Paper values (KBA): P(e|q) 18.7,
+// P(t|e,q) 2.3, P(p|t) 119.0, P(v|e,p) 3.69.
+//
+// Also reproduces the §7.5 entity&value identification comparison: joint
+// extraction (72% in the paper) vs plain NER (30%).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "baselines/common.h"
+#include "eval/runner.h"
+#include "nlp/tokenizer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  const auto& kbqa = experiment->kbqa();
+  const auto& world = experiment->world();
+
+  // ---- Table 6: candidate counts per pipeline stage ----
+  corpus::BenchmarkConfig config;
+  config.num_questions = 500;
+  config.bfq_ratio = 1.0;
+  config.seed = 606;
+  corpus::BenchmarkSet probe = corpus::GenerateBenchmark(world, config);
+
+  double sum_entities = 0, sum_templates = 0, sum_predicates = 0,
+         sum_values = 0;
+  size_t questions = 0, with_templates = 0, with_predicates = 0;
+  for (const corpus::QaPair& pair : probe.questions.pairs) {
+    core::AnswerResult result = kbqa.Answer(pair.question);
+    if (result.num_entities == 0) continue;
+    ++questions;
+    sum_entities += static_cast<double>(result.num_entities);
+    if (result.num_templates > 0) {
+      ++with_templates;
+      sum_templates += static_cast<double>(result.num_templates) /
+                       result.num_entities;
+    }
+    if (result.num_predicates > 0) {
+      ++with_predicates;
+      sum_predicates += static_cast<double>(result.num_predicates) /
+                        result.num_templates;
+      if (result.num_grounded_predicates > 0) {
+        sum_values += static_cast<double>(result.num_values) /
+                      result.num_grounded_predicates;
+      }
+    }
+  }
+
+  TablePrinter table(
+      "Table 6: average candidate choices per random variable");
+  table.SetHeader({"probability", "explanation", "avg count", "paper (KBA)"});
+  table.AddRow({"P(e|q)", "#entities for a question",
+                TablePrinter::Num(sum_entities / questions, 2), "18.7"});
+  table.AddRow({"P(t|e,q)", "#templates for an entity-question pair",
+                TablePrinter::Num(sum_templates / with_templates, 2), "2.3"});
+  table.AddRow({"P(p|t)", "#predicates for a template",
+                TablePrinter::Num(sum_predicates / with_predicates, 2),
+                "119.0"});
+  table.AddRow({"P(v|e,p)", "#values for an entity-predicate pair",
+                TablePrinter::Num(sum_values / with_predicates, 2), "3.69"});
+  bench::PrintPaperNote(
+      "every stage has >1 candidate on average — the uncertainty that "
+      "motivates the probabilistic model (absolute magnitudes scale with "
+      "KB size; the paper's KB is 5 orders of magnitude larger).");
+  table.Print(std::cout);
+
+  // ---- §7.5: entity identification, joint extraction vs NER ----
+  size_t checked = 0, joint_right = 0, ner_right = 0;
+  const auto& corpus = experiment->train_corpus();
+  for (size_t i = 0; i < corpus.size() && checked < 500; ++i) {
+    const corpus::QaGold& gold = corpus.gold[i];
+    if (!gold.is_bfq || !gold.answer_contains_value) continue;
+    ++checked;
+    std::vector<std::string> tokens =
+        nlp::TokenizeQuestion(corpus.pairs[i].question);
+    // Joint: highest-support entity among extracted EV candidates.
+    auto candidates =
+        kbqa.ev_extractor().Extract(tokens, corpus.pairs[i].answer);
+    size_t best_paths = 0;
+    for (const auto& cand : candidates) {
+      best_paths = std::max(best_paths, cand.paths.size());
+    }
+    // Some candidates tie on path count; accept gold if among candidates
+    // with the maximal support (the paper checks "identifies correctly").
+    bool joint_ok = false;
+    for (const auto& cand : candidates) {
+      joint_ok = joint_ok || (cand.entity == gold.entity &&
+                              cand.paths.size() == best_paths);
+    }
+    joint_right += joint_ok;
+    // NER-only: first mention, highest-degree candidate, no grounding.
+    auto linked = baselines::LinkFirstEntity(world.kb, kbqa.ner(), tokens);
+    ner_right += (linked && linked->entity == gold.entity);
+  }
+
+  TablePrinter ev_table(
+      "Sec 7.5: precision of entity identification on sampled QA pairs");
+  ev_table.SetHeader({"method", "correct", "sampled", "precision",
+                      "paper"});
+  ev_table.AddRow({"joint entity&value extraction (KBQA)",
+                   TablePrinter::Int(joint_right), TablePrinter::Int(checked),
+                   TablePrinter::Num(100.0 * joint_right / checked, 1),
+                   "72%"});
+  ev_table.AddRow({"NER-only linking",
+                   TablePrinter::Int(ner_right), TablePrinter::Int(checked),
+                   TablePrinter::Num(100.0 * ner_right / checked, 1),
+                   "30%"});
+  ev_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 8 (§7.3.1): effectiveness on a QALD-3-shaped benchmark (99
+// questions, BFQ ratio 0.41), including BFQ-restricted precision columns.
+// Also reproduces the paper's recall analysis: the dominant failure mode is
+// a rare phrasing matched against a rare predicate (12 of 15 failures).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  corpus::BenchmarkSet qald = experiment->MakeQald3();
+  std::printf("[run] %s: %zu questions, %zu BFQs\n", qald.name.c_str(),
+              qald.questions.size(), qald.num_bfq);
+
+  std::vector<bench::QaldRow> rows;
+  rows.push_back({"KBQA (ours)",
+                  eval::RunBenchmark(experiment->kbqa(), qald)});
+  for (const core::QaSystemInterface* baseline : experiment->Baselines()) {
+    rows.push_back({baseline->name() + " (reimpl. family)",
+                    eval::RunBenchmark(*baseline, qald)});
+  }
+
+  std::vector<std::vector<std::string>> paper_rows = {
+      {"paper: squall2sparql", "96", "80", "13", "0.78", "0.91", "0.81",
+       "0.94", "0.84", "0.97"},
+      {"paper: SWIP", "21", "14", "2", "0.14", "0.16", "0.24", "0.24",
+       "0.67", "0.76"},
+      {"paper: CASIA", "52", "29", "8", "0.29", "0.37", "0.56", "0.61",
+       "0.56", "0.71"},
+      {"paper: RTV", "55", "30", "4", "0.30", "0.34", "0.56", "0.56", "0.55",
+       "0.62"},
+      {"paper: gAnswer", "76", "32", "11", "0.32", "0.43", "0.54", "-",
+       "0.42", "0.57"},
+      {"paper: Intui2", "99", "28", "4", "0.28", "0.32", "0.54", "0.56",
+       "0.28", "0.32"},
+      {"paper: Scalewelis", "70", "32", "1", "0.32", "0.33", "0.41", "0.41",
+       "0.46", "0.47"},
+      {"paper: KBQA+KBA", "25", "17", "2", "0.17", "0.19", "0.42", "0.46",
+       "0.68", "0.76"},
+      {"paper: KBQA+Freebase", "21", "15", "3", "0.15", "0.18", "0.37",
+       "0.44", "0.71", "0.86"},
+      {"paper: KBQA+DBpedia", "26", "25", "0", "0.25", "0.25", "0.61",
+       "0.61", "0.96", "0.96"},
+  };
+
+  bench::PrintQaldTable(
+      "Table 8: results on the QALD-3-shaped benchmark (BFQ ratio 0.41)",
+      paper_rows, rows, std::cout);
+
+  // ---- Recall analysis: why BFQs fail (§7.3.1's failure discussion) ----
+  eval::RunResult kbqa_run = eval::RunBenchmark(experiment->kbqa(), qald);
+  size_t failed_bfq = 0, unseen_failed = 0;
+  for (const eval::JudgedQuestion& jq : kbqa_run.judged) {
+    if (!jq.is_bfq || jq.judgment == eval::Judgment::kRight ||
+        jq.judgment == eval::Judgment::kPartial) {
+      continue;
+    }
+    ++failed_bfq;
+    unseen_failed += jq.unseen_paraphrase;
+  }
+  std::printf(
+      "\n[analysis] failed BFQs: %zu, of which %zu used a phrasing never "
+      "seen in training — the paper's \"strict template matching\" failure "
+      "mode (12 of 15 in the paper).\n",
+      failed_bfq, unseen_failed);
+  eval::EvaluationReport::Build(kbqa_run).Print(std::cout);
+  bench::PrintPaperNote(
+      "shape to check: KBQA P / P* at the top (only the human-assisted "
+      "squall2sparql beats it in the paper); recall bounded by non-BFQs; "
+      "failures dominated by unseen templates.");
+  return 0;
+}

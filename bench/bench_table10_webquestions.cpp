@@ -1,0 +1,71 @@
+// Table 10 (§7.3.1): the WebQuestions-shaped benchmark (2032 questions,
+// non-BFQ majority). The paper's signature: KBQA's precision (0.85) is far
+// above the embedding/neural systems of the era while recall (0.22) is low
+// because KBQA declines non-BFQs; F1 lands mid-pack.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  corpus::BenchmarkSet webq = experiment->MakeWebQuestions();
+  std::printf("[run] %s: %zu questions, %zu BFQs\n", webq.name.c_str(),
+              webq.questions.size(), webq.num_bfq);
+
+  TablePrinter table("Table 10: results on the WebQuestions-shaped test set");
+  table.SetHeader({"system", "P", "P@1", "R", "F1"});
+  table.AddRow({"paper: Bordes et al. 2014", "-", "0.40", "-", "0.39"});
+  table.AddRow({"paper: Zheng et al. 2015", "0.38", "-", "-", "-"});
+  table.AddRow({"paper: Li et al. 2015", "-", "0.45", "-", "0.41"});
+  table.AddRow({"paper: Yao 2015", "0.53", "-", "0.55", "0.44"});
+  table.AddRow({"paper: KBQA", "0.85", "0.52", "0.22", "0.34"});
+
+  auto add_measured = [&](const std::string& name,
+                          const core::QaSystemInterface& system) {
+    eval::RunResult run = eval::RunBenchmark(system, webq);
+    // P@1: fraction of all questions whose top-ranked answer is right.
+    // (Our systems return a single ranked list; see EXPERIMENTS.md.)
+    double p_at_1 = run.counts.total == 0
+                        ? 0
+                        : static_cast<double>(run.counts.ri) /
+                              run.counts.total;
+    table.AddRow({name, TablePrinter::Num(run.counts.P(), 2),
+                  TablePrinter::Num(p_at_1, 2),
+                  TablePrinter::Num(run.counts.R(), 2),
+                  TablePrinter::Num(run.counts.F1(), 2)});
+  };
+  add_measured("KBQA (ours)", experiment->kbqa());
+  for (const core::QaSystemInterface* baseline : experiment->Baselines()) {
+    add_measured(baseline->name() + " (reimpl. family)", *baseline);
+  }
+
+  // Extension row: KBQA + the §1 question variants (ranking / comparison /
+  // listing), which recover part of the non-BFQ share the paper leaves to
+  // hybrid systems.
+  class KbqaWithVariants : public core::QaSystemInterface {
+   public:
+    explicit KbqaWithVariants(const core::KbqaSystem* kbqa) : kbqa_(kbqa) {}
+    std::string name() const override { return "KBQA+variants"; }
+    core::AnswerResult Answer(const std::string& question) const override {
+      core::AnswerResult result = kbqa_->Answer(question);
+      if (result.answered) return result;
+      return kbqa_->AnswerVariant(question);
+    }
+
+   private:
+    const core::KbqaSystem* kbqa_;
+  };
+  KbqaWithVariants with_variants(&experiment->kbqa());
+  add_measured("KBQA+variants (extension)", with_variants);
+
+  table.Print(std::cout);
+  bench::PrintPaperNote(
+      "shape to check: KBQA precision dominates every other row while its "
+      "recall is capped by the non-BFQ majority, trading F1 for "
+      "reliability.");
+  return 0;
+}

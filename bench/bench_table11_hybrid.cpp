@@ -1,0 +1,55 @@
+// Table 11 (§7.3.1): hybrid systems on the QALD-3-shaped benchmark. KBQA
+// answers what it can (BFQs, with high precision); when it returns null the
+// question goes to the baseline. Every baseline improves when composed with
+// KBQA — the paper's argument that KBQA is a valuable component even on
+// non-BFQ-majority datasets.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/qa_interface.h"
+#include "eval/runner.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  corpus::BenchmarkSet qald = experiment->MakeQald3();
+  std::printf("[run] %s: %zu questions, %zu BFQs\n", qald.name.c_str(),
+              qald.questions.size(), qald.num_bfq);
+
+  TablePrinter table("Table 11: hybrid systems on the QALD-3-shaped benchmark");
+  table.SetHeader({"system", "R", "R*", "P", "P*"});
+
+  auto fmt_delta = [](double value, double base) {
+    std::string out = TablePrinter::Num(value, 2);
+    double delta = value - base;
+    if (delta > 0.004) out += " (+" + TablePrinter::Num(delta, 2) + ")";
+    return out;
+  };
+
+  for (const core::QaSystemInterface* baseline : experiment->Baselines()) {
+    eval::RunResult alone = eval::RunBenchmark(*baseline, qald);
+    core::HybridSystem hybrid(&experiment->kbqa(), baseline);
+    eval::RunResult combined = eval::RunBenchmark(hybrid, qald);
+
+    table.AddRow({baseline->name(), TablePrinter::Num(alone.counts.R(), 2),
+                  TablePrinter::Num(alone.counts.RStar(), 2),
+                  TablePrinter::Num(alone.counts.P(), 2),
+                  TablePrinter::Num(alone.counts.PStar(), 2)});
+    table.AddRow({"KBQA+" + baseline->name(),
+                  fmt_delta(combined.counts.R(), alone.counts.R()),
+                  fmt_delta(combined.counts.RStar(), alone.counts.RStar()),
+                  fmt_delta(combined.counts.P(), alone.counts.P()),
+                  fmt_delta(combined.counts.PStar(), alone.counts.PStar())});
+  }
+
+  table.Print(std::cout);
+  bench::PrintPaperNote(
+      "paper reports (QALD-3/DBpedia): SWIP 0.15->0.33 R with KBQA, CASIA "
+      "0.29->0.38, RTV 0.30->0.39, gAnswer 0.32->0.39, Intui2 0.28->0.39, "
+      "Scalewelis 0.32->0.44 — every baseline's recall AND precision "
+      "improve when hybridized. Shape to check: every KBQA+X row dominates "
+      "its X row.");
+  return 0;
+}

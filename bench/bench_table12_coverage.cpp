@@ -1,0 +1,53 @@
+// Table 12 (§7.3.2): coverage of predicate inference — how many templates
+// and predicates KBQA learns vs the bootstrapping (BOA-pattern) family.
+// Paper: KBQA+KBA learns 27,126,355 templates / 2782 predicates from 41M QA
+// pairs; bootstrapping learns 471,920 patterns / 283 predicates from a
+// larger (256M-sentence) corpus. Shape: KBQA's representation extracts far
+// more coverage per unit of data.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  const auto& store = experiment->kbqa().template_store();
+  const auto& lexicon = experiment->lexicon();
+
+  size_t kbqa_templates = store.num_templates();
+  size_t kbqa_predicates = store.NumDistinctPredicates();
+  size_t boot_patterns = lexicon.num_patterns();
+  size_t boot_predicates = lexicon.num_predicates();
+
+  TablePrinter table("Table 12: coverage of predicate inference");
+  table.SetHeader({"row", "KBQA (ours)", "Bootstrapping (ours)",
+                   "paper KBQA+KBA", "paper Bootstrapping"});
+  table.AddRow({"corpus",
+                std::to_string(experiment->train_corpus().size()) + " QA",
+                std::to_string(experiment->config().webdoc_sentences) +
+                    " sentences",
+                "41M QA", "256M sentences"});
+  table.AddRow({"templates/patterns", TablePrinter::Int(kbqa_templates),
+                TablePrinter::Int(boot_patterns), "27126355", "471920"});
+  table.AddRow({"predicates", TablePrinter::Int(kbqa_predicates),
+                TablePrinter::Int(boot_predicates), "2782", "283"});
+  table.AddRow(
+      {"templates per predicate",
+       TablePrinter::Num(static_cast<double>(kbqa_templates) /
+                             std::max<size_t>(1, kbqa_predicates),
+                         1),
+       TablePrinter::Num(static_cast<double>(boot_patterns) /
+                             std::max<size_t>(1, boot_predicates),
+                         1),
+       "9751", "4639"});
+  table.Print(std::cout);
+  bench::PrintPaperNote(
+      "shape to check: KBQA covers MORE predicates than bootstrapping "
+      "(template extraction reaches CVT-mediated intents the "
+      "between-entity-and-value patterns never see) and learns many "
+      "templates per predicate. Absolute counts scale with corpus size — "
+      "the paper's corpus is ~700x ours.");
+  return 0;
+}

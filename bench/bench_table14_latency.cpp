@@ -1,0 +1,149 @@
+// Table 14 (§7.4): online latency and complexity. Paper: KBQA 79ms vs
+// gAnswer 990ms (12.5x) vs DEANNA 7738ms (98x); KBQA's pipeline is
+// polynomial (O(|q|^4) parsing + O(|P|) inference) while both competitors
+// contain NP-hard question understanding. The reimplemented families keep
+// the same algorithmic structure, so the *ordering* and rough magnitude
+// gaps reproduce; absolute times scale with the synthetic KB.
+//
+// Also measures the offline procedure's corpus-size scaling (§7.4 reports
+// 1438 min for 41M pairs; ours is linear in corpus size as predicted by
+// the O(km) EM bound).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace kbqa;
+
+const eval::Experiment& Experiment() {
+  static const eval::Experiment* const kExperiment = [] {
+    return bench::BuildStandardExperiment().release();
+  }();
+  return *kExperiment;
+}
+
+const std::vector<std::string>& Questions() {
+  static const std::vector<std::string>* const kQuestions = [] {
+    corpus::BenchmarkConfig config;
+    config.num_questions = 64;
+    config.bfq_ratio = 1.0;
+    config.seed = 1414;
+    auto* questions = new std::vector<std::string>();
+    for (const corpus::QaPair& pair :
+         corpus::GenerateBenchmark(Experiment().world(), config)
+             .questions.pairs) {
+      questions->push_back(pair.question);
+    }
+    return questions;
+  }();
+  return *kQuestions;
+}
+
+void BM_Kbqa_Answer(benchmark::State& state) {
+  const auto& questions = Questions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().kbqa().Answer(questions[i++ % questions.size()]));
+  }
+}
+BENCHMARK(BM_Kbqa_Answer)->Unit(benchmark::kMicrosecond);
+
+void BM_Kbqa_AnswerComplex(benchmark::State& state) {
+  // Complex pipeline: decomposition DP (O(|q|^4)) + chained inference.
+  static const std::vector<std::string> kComplex = {
+      "when was barack obama's wife born",
+      "how many people live in the capital of japan",
+      "what is the birthday of the ceo of google",
+  };
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().kbqa().AnswerComplex(kComplex[i++ % kComplex.size()]));
+  }
+}
+BENCHMARK(BM_Kbqa_AnswerComplex)->Unit(benchmark::kMicrosecond);
+
+void BM_RuleQa(benchmark::State& state) {
+  const auto& questions = Questions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().rule_qa().Answer(questions[i++ % questions.size()]));
+  }
+}
+BENCHMARK(BM_RuleQa)->Unit(benchmark::kMicrosecond);
+
+void BM_KeywordQa(benchmark::State& state) {
+  const auto& questions = Questions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().keyword_qa().Answer(questions[i++ % questions.size()]));
+  }
+}
+BENCHMARK(BM_KeywordQa)->Unit(benchmark::kMicrosecond);
+
+void BM_GraphQa_gAnswerFamily(benchmark::State& state) {
+  const auto& questions = Questions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().graph_qa().Answer(questions[i++ % questions.size()]));
+  }
+}
+BENCHMARK(BM_GraphQa_gAnswerFamily)->Unit(benchmark::kMicrosecond);
+
+void BM_SynonymQa_DeannaFamily(benchmark::State& state) {
+  const auto& questions = Questions();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().synonym_qa().Answer(questions[i++ % questions.size()]));
+  }
+}
+BENCHMARK(BM_SynonymQa_DeannaFamily)->Unit(benchmark::kMicrosecond);
+
+/// Offline-procedure scaling: full Train() over increasing corpus sizes.
+void BM_OfflineTraining(benchmark::State& state) {
+  corpus::WorldConfig world_config;
+  world_config.schema.scale = 0.15;
+  static const corpus::World* const kWorld =
+      new corpus::World(corpus::GenerateWorld(world_config));
+  corpus::QaGenConfig corpus_config;
+  corpus_config.num_pairs = static_cast<size_t>(state.range(0));
+  corpus::QaCorpus corpus =
+      corpus::GenerateTrainingCorpus(*kWorld, corpus_config);
+  for (auto _ : state) {
+    core::KbqaSystem kbqa(kWorld);
+    benchmark::DoNotOptimize(kbqa.Train(corpus));
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_OfflineTraining)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Experiment();  // Train once before timing anything.
+  std::printf(
+      "\nTable 14 reference (paper): DEANNA 7738ms (NP-hard understanding "
+      "+ NP-hard evaluation), gAnswer 990ms (O(|V|^3) + NP-hard), KBQA "
+      "79ms (O(|q|^4) parsing + O(|P|) inference). Shape to check below: "
+      "KBQA's per-question latency is far below the Graph (gAnswer) family "
+      "which is below the Synonym (DEANNA) family; offline training scales "
+      "linearly in corpus size.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

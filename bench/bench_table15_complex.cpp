@@ -1,0 +1,83 @@
+// Table 15 (§7.5): complex question answering — the paper's 8 hand-written
+// complex questions (KBQA answers all 8; Wolfram Alpha 2; gAnswer 0). The
+// famous seed entities wire exactly these facts, so the same 8 questions
+// run verbatim. The Graph (gAnswer-family) baseline is run for contrast;
+// Wolfram Alpha columns are quoted from the paper.
+
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+  auto experiment = bench::BuildStandardExperiment();
+  const auto& kbqa = experiment->kbqa();
+
+  struct ComplexCase {
+    const char* question;
+    const char* expected;  // gold value from the famous-entity wiring
+    const char* paper_wa;  // Wolfram Alpha column in the paper
+    const char* paper_ga;  // gAnswer column in the paper
+  };
+  const ComplexCase cases[] = {
+      {"how many people live in the capital of japan", "13960000", "Y", "N"},
+      {"when was barack obama's wife born", "1964", "Y", "N"},
+      {"what are books written by author of harry potter",
+       "the casual vacancy|harry potter", "N", "N"},
+      {"what is the area of the capital of britain", "1572", "N", "N"},
+      {"how large is the capital of germany", "891", "N", "N"},
+      {"what instrument do members of coldplay play", "piano|guitar", "N",
+       "N"},
+      {"what is the birthday of the ceo of google", "1972", "N", "N"},
+      {"in which country is the headquarter of google located",
+       "united states", "N", "N"},
+  };
+
+  TablePrinter table("Table 15: complex question answering");
+  table.SetHeader({"question", "KBQA", "answer", "Graph(gA fam.)",
+                   "paper WA", "paper gA"});
+
+  int kbqa_right = 0;
+  for (const ComplexCase& c : cases) {
+    core::ComplexAnswer answer = kbqa.AnswerComplex(c.question);
+    bool ok = false;
+    if (answer.answer.answered) {
+      std::string got = nlp::NormalizeText(answer.answer.value);
+      // Multi-valued expectations accept any listed alternative.
+      for (const std::string& alt : Split(c.expected, '|')) {
+        ok = ok || got == nlp::NormalizeText(alt);
+      }
+    }
+    kbqa_right += ok;
+    core::AnswerResult graph = experiment->graph_qa().Answer(c.question);
+    bool graph_ok = false;
+    if (graph.answered) {
+      for (const std::string& alt : Split(c.expected, '|')) {
+        graph_ok =
+            graph_ok || nlp::NormalizeText(graph.value) == nlp::NormalizeText(alt);
+      }
+    }
+    table.AddRow({c.question, ok ? "Y" : "N",
+                  answer.answer.answered ? answer.answer.value : "-",
+                  graph_ok ? "Y" : "N", c.paper_wa, c.paper_ga});
+
+    std::printf("[chain] %s  =>", c.question);
+    for (const std::string& step : answer.sequence) {
+      std::printf("  [%s]", step.c_str());
+    }
+    std::printf("  (P(A)=%.3f)\n", answer.decomposition_probability);
+  }
+
+  table.Print(std::cout);
+  std::printf("\nKBQA answered %d/8 (paper: 8/8; Wolfram Alpha 2/8; gAnswer "
+              "0/8).\n",
+              kbqa_right);
+  bench::PrintPaperNote(
+      "shape to check: KBQA answers (nearly) all 8 via decomposition; the "
+      "graph family answers none of the nested ones.");
+  return kbqa_right >= 6 ? 0 : 1;
+}

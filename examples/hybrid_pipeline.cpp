@@ -1,0 +1,62 @@
+// Hybrid-QA pipeline (Sec 7.3.1 / Table 11): compose KBQA with a fallback
+// baseline through the QaSystemInterface, run a QALD-style benchmark, and
+// print the paper's effectiveness metrics for each configuration.
+//
+// Run: ./build/examples/hybrid_pipeline
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/qa_interface.h"
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace kbqa;
+
+  eval::ExperimentConfig config = eval::ExperimentConfig::Standard();
+  config.corpus.num_pairs = 30000;  // example-sized training run
+  auto built = eval::Experiment::Build(config);
+  if (!built.ok()) {
+    std::printf("experiment build failed: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
+  const eval::Experiment& experiment = *built.value();
+
+  corpus::BenchmarkSet qald = experiment.MakeQald3();
+  std::printf("benchmark: %s (%zu questions, %zu BFQs)\n\n",
+              qald.name.c_str(), qald.questions.size(), qald.num_bfq);
+
+  TablePrinter table("Hybrid pipeline: KBQA answers BFQs, fallback handles the rest");
+  table.SetHeader({"system", "#pro", "#ri", "R", "P", "avg ms"});
+  auto add = [&](const std::string& name,
+                 const core::QaSystemInterface& system) {
+    eval::RunResult run = eval::RunBenchmark(system, qald);
+    table.AddRow({name, TablePrinter::Int(run.counts.pro),
+                  TablePrinter::Int(run.counts.ri),
+                  TablePrinter::Num(run.counts.R(), 2),
+                  TablePrinter::Num(run.counts.P(), 2),
+                  TablePrinter::Num(run.avg_latency_ms(), 3)});
+  };
+
+  add("KBQA alone", experiment.kbqa());
+  add("Keyword alone", experiment.keyword_qa());
+  core::HybridSystem hybrid(&experiment.kbqa(), &experiment.keyword_qa());
+  add("KBQA + Keyword (hybrid)", hybrid);
+  table.Print(std::cout);
+
+  // Show the division of labor on two concrete questions.
+  std::printf("\ndivision of labor:\n");
+  for (const char* q : {"what is the population of honolulu",
+                        "which city has the largest population"}) {
+    core::AnswerResult from_kbqa = experiment.kbqa().Answer(q);
+    core::AnswerResult from_hybrid = hybrid.Answer(q);
+    std::printf("  Q: %-44s kbqa=%-12s hybrid=%s\n", q,
+                from_kbqa.answered ? from_kbqa.value.c_str() : "<declined>",
+                from_hybrid.answered ? from_hybrid.value.c_str()
+                                     : "<declined>");
+  }
+  return 0;
+}

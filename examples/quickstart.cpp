@@ -1,0 +1,83 @@
+// Quickstart: build a synthetic world, train KBQA on a generated QA corpus,
+// and ask the paper's running example questions (§1, Table 1).
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/kbqa_system.h"
+#include "corpus/qa_generator.h"
+#include "corpus/world_generator.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kbqa;
+
+  // 1. Generate the world: RDF KB + taxonomy + infobox (stand-ins for
+  //    Freebase/DBpedia + Probase + Wikipedia).
+  std::printf("generating world...\n");
+  corpus::WorldConfig world_config;
+  world_config.schema.scale = 0.25;
+  corpus::World world = corpus::GenerateWorld(world_config);
+  std::printf("  %zu entities, %zu predicates, %zu triples, %zu categories\n",
+              world.kb.num_entities(), world.kb.num_predicates(),
+              world.kb.num_triples(), world.taxonomy.num_categories());
+
+  // 2. Generate a community-QA training corpus (Yahoo! Answers stand-in).
+  corpus::QaGenConfig corpus_config;
+  corpus_config.num_pairs = 20000;
+  corpus::QaCorpus corpus = corpus::GenerateTrainingCorpus(world, corpus_config);
+  std::printf("  %zu QA pairs, e.g.\n    Q: %s\n    A: %s\n", corpus.size(),
+              corpus.pairs[0].question.c_str(), corpus.pairs[0].answer.c_str());
+
+  // 3. Train: predicate expansion + EV extraction + EM learning of P(p|t).
+  std::printf("training (offline procedure)...\n");
+  Timer timer;
+  core::KbqaSystem kbqa(&world);
+  Status status = kbqa.Train(corpus);
+  if (!status.ok()) {
+    std::printf("training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "  trained in %.1fs: %zu templates, %zu predicates, %d EM iterations\n",
+      timer.ElapsedSeconds(), kbqa.template_store().num_templates(),
+      kbqa.em_stats().num_predicates, kbqa.em_stats().iterations);
+
+  // 4. Ask the paper's questions.
+  const char* bfqs[] = {
+      "how many people are there in honolulu",   // (a) of Table 1
+      "what is the population of honolulu",      // (b)
+      "what is the total number of people in honolulu",  // (c)
+      "when was barack obama born",              // (d)
+      "who is the wife of barack obama",          // (e)
+      "what is the capital of japan",
+      "where is the headquarter of google",
+  };
+  std::printf("\nbinary factoid questions:\n");
+  for (const char* q : bfqs) {
+    core::AnswerResult answer = kbqa.Answer(q);
+    std::printf("  Q: %s\n  A: %s   (predicate: %s, score %.4f)\n", q,
+                answer.answered ? answer.value.c_str() : "<no answer>",
+                answer.predicate.c_str(), answer.score);
+  }
+
+  const char* complex_questions[] = {
+      "when was barack obama 's wife born",       // (f) of Table 1
+      "how many people live in the capital of japan",
+  };
+  std::printf("\ncomplex questions:\n");
+  for (const char* q : complex_questions) {
+    core::ComplexAnswer complex = kbqa.AnswerComplex(q);
+    std::printf("  Q: %s\n  A: %s   (P(A)=%.3f; chain:", q,
+                complex.answer.answered ? complex.answer.value.c_str()
+                                        : "<no answer>",
+                complex.decomposition_probability);
+    for (const std::string& step : complex.sequence) {
+      std::printf(" [%s]", step.c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 1 of the paper, as code: build the toy RDF knowledge base by hand
+// with the public API, run predicate expansion on it, and look values up
+// through expanded predicates — no generators, no training, just the
+// substrate layers.
+//
+// Run: ./build/examples/toy_kb
+
+#include <cstdio>
+
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+int main() {
+  using namespace kbqa::rdf;
+
+  // ---- Build Figure 1 ----
+  KnowledgeBase kb;
+  PredId name = kb.AddPredicate("name");
+  kb.SetNamePredicate(name);
+  PredId dob = kb.AddPredicate("dob");
+  PredId pob = kb.AddPredicate("pob");
+  PredId marriage = kb.AddPredicate("marriage");
+  PredId person = kb.AddPredicate("person");
+  PredId date = kb.AddPredicate("date");
+  PredId population = kb.AddPredicate("population");
+
+  TermId a = kb.AddEntity("person/a");  // Barack Obama
+  TermId b = kb.AddEntity("marriage/b");
+  TermId c = kb.AddEntity("person/c");  // Michelle Obama
+  TermId d = kb.AddEntity("city/d");    // Honolulu
+
+  kb.AddTriple(a, name, kb.AddLiteral("barack obama"));
+  kb.AddTriple(a, dob, kb.AddLiteral("1961"));
+  kb.AddTriple(a, pob, d);
+  kb.AddTriple(a, marriage, b);
+  kb.AddTriple(b, person, c);
+  kb.AddTriple(b, date, kb.AddLiteral("1992"));
+  kb.AddTriple(c, name, kb.AddLiteral("michelle obama"));
+  kb.AddTriple(c, dob, kb.AddLiteral("1964"));
+  kb.AddTriple(d, name, kb.AddLiteral("honolulu"));
+  kb.AddTriple(d, population, kb.AddLiteral("390000"));
+  kb.Freeze();
+
+  std::printf("toy KB: %zu entities, %zu predicates, %zu triples\n",
+              kb.num_entities(), kb.num_predicates(), kb.num_triples());
+
+  // ---- Direct lookups ----
+  std::printf("\ndirect predicate lookups:\n");
+  for (TermId v : kb.Objects(a, dob)) {
+    std::printf("  (barack obama, dob, %s)\n", kb.NodeString(v).c_str());
+  }
+  for (TermId v : kb.Objects(d, population)) {
+    std::printf("  (honolulu, population, %s)\n", kb.NodeString(v).c_str());
+  }
+
+  // ---- Expanded predicates (Sec 6) ----
+  ExpansionOptions options;
+  options.max_length = 3;
+  auto ekb = ExpandedKb::Build(kb, {a, d}, {name}, options);
+  if (!ekb.ok()) {
+    std::printf("expansion failed: %s\n", ekb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexpanded predicates from barack obama:\n");
+  for (const auto& [path_id, object] : ekb.value().Out(a)) {
+    std::printf("  %-28s -> %s\n",
+                ekb.value().paths().ToString(path_id, kb).c_str(),
+                kb.NodeString(object).c_str());
+  }
+
+  // The paper's "spouse of" intent: marriage -> person -> name.
+  std::printf("\nwho is barack obama's wife? (via marriage -> person -> name)\n");
+  for (TermId v : ObjectsViaPath(kb, a, {marriage, person, name})) {
+    std::printf("  %s\n", kb.NodeString(v).c_str());
+  }
+  return 0;
+}

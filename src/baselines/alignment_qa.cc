@@ -1,0 +1,108 @@
+#include "baselines/alignment_qa.h"
+
+#include <algorithm>
+
+#include "baselines/common.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+
+namespace kbqa::baselines {
+
+namespace {
+
+/// Content phrases of a question outside the mention span: token windows of
+/// 1..max_len that contain at least one non-stopword.
+std::vector<std::string> ContentPhrases(
+    const std::vector<std::string>& tokens, size_t mention_begin,
+    size_t mention_end, size_t max_len) {
+  std::vector<std::string> phrases;
+  for (size_t b = 0; b < tokens.size(); ++b) {
+    for (size_t e = b + 1; e <= tokens.size() && e <= b + max_len; ++e) {
+      if (b < mention_end && e > mention_begin) continue;  // overlaps mention
+      bool has_content = false;
+      for (size_t i = b; i < e; ++i) {
+        has_content = has_content || !nlp::IsStopword(tokens[i]);
+      }
+      if (!has_content) continue;
+      phrases.push_back(nlp::JoinTokens(
+          std::vector<std::string>(tokens.begin() + b, tokens.begin() + e)));
+    }
+  }
+  return phrases;
+}
+
+}  // namespace
+
+AlignmentQa::AlignmentQa(const corpus::World* world,
+                         const rdf::ExpandedKb* ekb,
+                         const nlp::GazetteerNer* ner,
+                         const core::EvExtractor* extractor,
+                         const corpus::QaCorpus& corpus,
+                         const Options& options)
+    : world_(world), ekb_(ekb), ner_(ner), options_(options) {
+  // Learning pass: align every content phrase with every connecting
+  // predicate of every extracted observation (the bipartite graph).
+  for (const corpus::QaPair& pair : corpus.pairs) {
+    std::vector<std::string> tokens = nlp::TokenizeQuestion(pair.question);
+    for (const core::EvCandidate& cand :
+         extractor->Extract(tokens, pair.answer)) {
+      std::vector<std::string> phrases = ContentPhrases(
+          tokens, cand.mention_begin, cand.mention_end,
+          options_.max_phrase_tokens);
+      for (const std::string& phrase : phrases) {
+        auto& per_path = alignments_[phrase];
+        for (rdf::PathId path : cand.paths) {
+          if (per_path.emplace(path, 0).second) ++num_alignments_;
+          ++per_path[path];
+        }
+      }
+    }
+  }
+}
+
+core::AnswerResult AlignmentQa::Answer(const std::string& question) const {
+  core::AnswerResult result;
+  std::vector<std::string> tokens = nlp::TokenizeQuestion(question);
+  auto linked = LinkFirstEntity(world_->kb, *ner_, tokens);
+  if (!linked) return result;
+
+  // The strongest aligned phrase present in the question picks the
+  // predicate; longer phrases win ties (more specific evidence).
+  const rdf::KnowledgeBase& kb = world_->kb;
+  rdf::PathId best_path = rdf::kInvalidPath;
+  double best_score = 0;
+  for (const std::string& phrase : ContentPhrases(
+           tokens, linked->begin, linked->end, options_.max_phrase_tokens)) {
+    auto it = alignments_.find(phrase);
+    if (it == alignments_.end()) continue;
+    uint64_t total = 0;
+    for (const auto& [path, count] : it->second) {
+      (void)path;
+      total += count;
+    }
+    for (const auto& [path, count] : it->second) {
+      if (count < options_.min_count) continue;
+      // Specificity-weighted relative frequency.
+      double score = (static_cast<double>(count) / total) *
+                     (1.0 + 0.2 * static_cast<double>(
+                                      std::count(phrase.begin(), phrase.end(),
+                                                 ' ')));
+      if (score > best_score) {
+        best_score = score;
+        best_path = path;
+      }
+    }
+  }
+  if (best_path == rdf::kInvalidPath) return result;
+
+  std::vector<rdf::TermId> values = rdf::ObjectsViaPath(
+      kb, linked->entity, ekb_->paths().GetPath(best_path));
+  if (values.empty()) return result;
+  result.answered = true;
+  result.value = TermSurface(kb, values.front());
+  result.predicate = ekb_->paths().ToString(best_path, kb);
+  result.score = best_score;
+  return result;
+}
+
+}  // namespace kbqa::baselines

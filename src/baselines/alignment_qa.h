@@ -1,0 +1,68 @@
+#ifndef KBQA_BASELINES_ALIGNMENT_QA_H_
+#define KBQA_BASELINES_ALIGNMENT_QA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/ev_extraction.h"
+#include "core/qa_interface.h"
+#include "corpus/qa_corpus.h"
+#include "corpus/world.h"
+#include "nlp/ner.h"
+#include "rdf/expanded_predicate.h"
+
+namespace kbqa::baselines {
+
+/// Alignment-based semantic parsing in the style of SEMPRE (Berant et al.
+/// [2]): a bipartite phrase↔predicate graph learned from QA pairs. For
+/// every extracted (question, entity, value) observation, each content
+/// phrase of the question is aligned with every predicate connecting the
+/// entity to the value; counts accumulate over the corpus. Online, the
+/// strongest aligned phrase in the question picks the predicate.
+///
+/// This shares KBQA's training signal but keeps the synonym-family
+/// representation — a *phrase* stands for the intent, not the question as
+/// a whole. The paper's critique (§1.3) applies: the mapping collapses on
+/// holistic or context-dependent phrasings ("how many people ..." aligning
+/// with population, employees and students at once), which is exactly the
+/// gap templates close.
+class AlignmentQa : public core::QaSystemInterface {
+ public:
+  struct Options {
+    size_t max_phrase_tokens = 4;
+    /// Minimum alignment count for a phrase to vote at answer time.
+    uint64_t min_count = 2;
+  };
+
+  /// Learns the alignment table from `corpus` using KBQA's own extractor.
+  AlignmentQa(const corpus::World* world, const rdf::ExpandedKb* ekb,
+              const nlp::GazetteerNer* ner, const core::EvExtractor* extractor,
+              const corpus::QaCorpus& corpus, const Options& options);
+  AlignmentQa(const corpus::World* world, const rdf::ExpandedKb* ekb,
+              const nlp::GazetteerNer* ner, const core::EvExtractor* extractor,
+              const corpus::QaCorpus& corpus)
+      : AlignmentQa(world, ekb, ner, extractor, corpus, Options()) {}
+
+  std::string name() const override { return "Alignment"; }
+  core::AnswerResult Answer(const std::string& question) const override;
+
+  /// Number of distinct (phrase, predicate) alignments learned.
+  size_t num_alignments() const { return num_alignments_; }
+
+ private:
+  const corpus::World* world_;
+  const rdf::ExpandedKb* ekb_;
+  const nlp::GazetteerNer* ner_;
+  Options options_;
+
+  // phrase -> (path -> count)
+  std::unordered_map<std::string,
+                     std::unordered_map<rdf::PathId, uint64_t>>
+      alignments_;
+  size_t num_alignments_ = 0;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_ALIGNMENT_QA_H_

@@ -1,0 +1,50 @@
+#ifndef KBQA_BASELINES_COMMON_H_
+#define KBQA_BASELINES_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nlp/ner.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::baselines {
+
+/// A linked entity mention: the chosen entity plus its token span.
+struct LinkedEntity {
+  rdf::TermId entity;
+  size_t begin;
+  size_t end;
+};
+
+/// Deterministic non-probabilistic entity linking used by all baselines:
+/// first mention, highest-out-degree candidate (the usual "most prominent
+/// entity" heuristic of keyword/synonym systems).
+inline std::optional<LinkedEntity> LinkFirstEntity(
+    const rdf::KnowledgeBase& kb, const nlp::GazetteerNer& ner,
+    const std::vector<std::string>& tokens) {
+  std::vector<nlp::Mention> mentions = ner.FindMentions(tokens);
+  if (mentions.empty()) return std::nullopt;
+  const nlp::Mention& mention = mentions.front();
+  rdf::TermId best = rdf::kInvalidTerm;
+  size_t best_degree = 0;
+  for (rdf::TermId e : mention.entities) {
+    size_t degree = kb.OutDegree(e);
+    if (best == rdf::kInvalidTerm || degree > best_degree) {
+      best = e;
+      best_degree = degree;
+    }
+  }
+  if (best == rdf::kInvalidTerm) return std::nullopt;
+  return LinkedEntity{best, mention.begin, mention.end};
+}
+
+/// Surface string for an answer term.
+inline std::string TermSurface(const rdf::KnowledgeBase& kb,
+                               rdf::TermId term) {
+  return kb.IsLiteral(term) ? kb.NodeString(term) : kb.EntityName(term);
+}
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_COMMON_H_

@@ -1,0 +1,117 @@
+#include "baselines/graph_qa.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/common.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+
+namespace kbqa::baselines {
+
+namespace {
+
+struct Candidate {
+  rdf::TermId value = rdf::kInvalidTerm;
+  double score = 0;
+  std::string path_string;
+};
+
+/// Lexicon evidence: phrases of the question that the lexicon maps to some
+/// path, keyed by the path's first predicate (the edge the subgraph match
+/// must take out of the entity).
+struct PhraseEvidence {
+  rdf::PredId first_pred;
+  double weight;
+};
+
+}  // namespace
+
+core::AnswerResult GraphQa::Answer(const std::string& question) const {
+  core::AnswerResult result;
+  std::vector<std::string> tokens = nlp::TokenizeQuestion(question);
+  std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
+  if (mentions.empty()) return result;
+
+  const rdf::KnowledgeBase& kb = world_->kb;
+
+  // Build the question-side semantic graph: content words + lexicon-backed
+  // relation phrases.
+  std::vector<std::string> content;
+  for (const std::string& tok : tokens) {
+    if (!nlp::IsStopword(tok)) content.push_back(tok);
+  }
+  std::vector<PhraseEvidence> phrase_evidence;
+  for (size_t b = 0; b < tokens.size(); ++b) {
+    for (size_t e = b + 1; e <= tokens.size() && e <= b + 5; ++e) {
+      std::string span = nlp::JoinTokens(
+          std::vector<std::string>(tokens.begin() + b, tokens.begin() + e));
+      auto entry = lexicon_->Lookup(span);
+      if (!entry) continue;
+      const rdf::PredPath& path = ekb_->paths().GetPath(entry->path);
+      phrase_evidence.push_back(PhraseEvidence{path.front(), 2.0});
+    }
+  }
+
+  auto edge_score = [&](rdf::PredId p, int depth) {
+    double score = 0;
+    // Token overlap between the predicate name and the question.
+    for (const std::string& piece : Split(kb.PredicateString(p), '_')) {
+      if (std::find(content.begin(), content.end(), piece) != content.end()) {
+        score += 1.0;
+      }
+    }
+    // Lexicon-backed phrase evidence applies to the first hop only.
+    if (depth == 0) {
+      for (const PhraseEvidence& ev : phrase_evidence) {
+        if (ev.first_pred == p) score += ev.weight;
+      }
+    }
+    return score;
+  };
+
+  // Subgraph match: walk the entity's neighborhood (depth <= 3) through the
+  // raw adjacency — no materialized path index — accumulating edge scores.
+  Candidate best;
+  for (const nlp::Mention& mention : mentions) {
+    for (rdf::TermId entity : mention.entities) {
+      struct Frame {
+        rdf::TermId node;
+        int depth;
+        double score;
+        std::string path_string;
+      };
+      std::vector<Frame> stack = {{entity, 0, 0.0, ""}};
+      while (!stack.empty()) {
+        Frame frame = stack.back();
+        stack.pop_back();
+        for (const auto& [p, o] : kb.Out(frame.node)) {
+          double score = frame.score + edge_score(p, frame.depth);
+          std::string path_string =
+              frame.path_string.empty()
+                  ? kb.PredicateString(p)
+                  : frame.path_string + " -> " + kb.PredicateString(p);
+          if (kb.IsLiteral(o)) {
+            // Candidate answer node. Prefer higher score; break ties toward
+            // shorter paths (already favored by DFS order + strict >).
+            if (score > best.score) {
+              best = Candidate{o, score, path_string};
+            }
+          } else if (frame.depth < 2) {
+            stack.push_back(Frame{o, frame.depth + 1, score, path_string});
+          }
+        }
+      }
+    }
+  }
+
+  if (best.value == rdf::kInvalidTerm || best.score <= 0) return result;
+  result.answered = true;
+  result.value = TermSurface(kb, best.value);
+  result.predicate = best.path_string;
+  result.score = best.score;
+  return result;
+}
+
+}  // namespace kbqa::baselines

@@ -1,0 +1,41 @@
+#ifndef KBQA_BASELINES_GRAPH_QA_H_
+#define KBQA_BASELINES_GRAPH_QA_H_
+
+#include <string>
+
+#include "baselines/synonym_lexicon.h"
+#include "core/qa_interface.h"
+#include "corpus/world.h"
+#include "nlp/ner.h"
+#include "rdf/expanded_predicate.h"
+
+namespace kbqa::baselines {
+
+/// Graph-data-driven QA in the style of gAnswer [38]: build a semantic
+/// graph from the question (mention nodes + relation-phrase edges) and
+/// match it against the entity's RDF neighborhood subgraph. The subgraph
+/// match enumerates candidate value nodes by walking the neighborhood up to
+/// depth 3 *without* any precomputed path index and scores each traversal
+/// edge against the question's phrases — an O(neighborhood³)-flavored
+/// search, slower than KBQA's O(|P|) template lookup and faster than
+/// SynonymQa's exhaustive joint disambiguation, reproducing the latency
+/// ordering of Table 14.
+class GraphQa : public core::QaSystemInterface {
+ public:
+  GraphQa(const corpus::World* world, const rdf::ExpandedKb* ekb,
+          const nlp::GazetteerNer* ner, const SynonymLexicon* lexicon)
+      : world_(world), ekb_(ekb), ner_(ner), lexicon_(lexicon) {}
+
+  std::string name() const override { return "Graph"; }
+  core::AnswerResult Answer(const std::string& question) const override;
+
+ private:
+  const corpus::World* world_;
+  const rdf::ExpandedKb* ekb_;
+  const nlp::GazetteerNer* ner_;
+  const SynonymLexicon* lexicon_;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_GRAPH_QA_H_

@@ -1,0 +1,170 @@
+#include "baselines/keyword_qa.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/common.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+
+namespace kbqa::baselines {
+
+namespace {
+
+std::vector<std::string> ContentWords(const std::vector<std::string>& tokens,
+                                      size_t skip_begin, size_t skip_end) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i >= skip_begin && i < skip_end) continue;
+    if (!nlp::IsStopword(tokens[i])) out.push_back(tokens[i]);
+  }
+  return out;
+}
+
+size_t Overlap(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  size_t n = 0;
+  for (const std::string& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++n;
+  }
+  return n;
+}
+
+/// Keyword-matches an attribute intent of `type` against `keyword_tokens`.
+int MatchAttributeIntent(const corpus::World& world, int type,
+                         const std::vector<std::string>& keyword_tokens) {
+  int best = -1;
+  size_t best_overlap = 0;
+  for (int i : world.schema.IntentsOfType(type)) {
+    const corpus::IntentSpec& intent = world.schema.intents()[i];
+    if (intent.is_relation()) continue;
+    std::vector<std::string> kw = nlp::Tokenize(intent.keyword);
+    size_t ov = Overlap(keyword_tokens, kw);
+    if (ov > best_overlap) {
+      best_overlap = ov;
+      best = i;
+    }
+  }
+  return best_overlap > 0 ? best : -1;
+}
+
+long long FactNumber(const corpus::World& world, int intent_idx,
+                     rdf::TermId e) {
+  const auto* values = world.FactValues(intent_idx, e);
+  if (values == nullptr || values->empty()) return -1;
+  return ParseNonNegativeInt(world.ValueSurface((*values)[0]));
+}
+
+}  // namespace
+
+KeywordQa::KeywordQa(const corpus::World* world, const nlp::GazetteerNer* ner,
+                     const Options& options)
+    : world_(world), ner_(ner), options_(options) {}
+
+core::AnswerResult KeywordQa::AnswerSuperlative(
+    const std::vector<std::string>& tokens) const {
+  core::AnswerResult result;
+  // Frame: "which <type> has the largest|smallest <keyword...>".
+  if (tokens.size() < 6 || tokens[0] != "which") return result;
+  auto dir_it = std::find(tokens.begin(), tokens.end(), "largest");
+  bool largest = dir_it != tokens.end();
+  if (!largest) {
+    dir_it = std::find(tokens.begin(), tokens.end(), "smallest");
+    if (dir_it == tokens.end()) return result;
+  }
+  int type = world_->schema.TypeIndex(tokens[1]);
+  if (type < 0) return result;
+  std::vector<std::string> keyword(dir_it + 1, tokens.end());
+  int intent_idx = MatchAttributeIntent(*world_, type, keyword);
+  if (intent_idx < 0) return result;
+
+  rdf::TermId best_e = rdf::kInvalidTerm;
+  long long best_v = -1;
+  for (rdf::TermId e : world_->entities_by_type[type]) {
+    long long v = FactNumber(*world_, intent_idx, e);
+    if (v < 0) continue;
+    if (best_e == rdf::kInvalidTerm || (largest ? v > best_v : v < best_v)) {
+      best_e = e;
+      best_v = v;
+    }
+  }
+  if (best_e == rdf::kInvalidTerm) return result;
+  result.answered = true;
+  result.value = world_->kb.EntityName(best_e);
+  result.predicate = world_->schema.intents()[intent_idx].name;
+  result.score = 1.0;
+  return result;
+}
+
+core::AnswerResult KeywordQa::AnswerComparison(
+    const std::vector<std::string>& tokens) const {
+  core::AnswerResult result;
+  // Frame: "which has more <keyword...> , <a> or <b>".
+  if (tokens.size() < 6 || tokens[0] != "which" || tokens[1] != "has" ||
+      tokens[2] != "more") {
+    return result;
+  }
+  std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
+  if (mentions.size() < 2) return result;
+  rdf::TermId a = mentions[0].entities.front();
+  rdf::TermId b = mentions[1].entities.front();
+  std::vector<std::string> keyword(tokens.begin() + 3,
+                                   tokens.begin() + mentions[0].begin);
+
+  for (size_t type = 0; type < world_->entities_by_type.size(); ++type) {
+    int intent_idx = MatchAttributeIntent(*world_, static_cast<int>(type),
+                                          keyword);
+    if (intent_idx < 0) continue;
+    long long va = FactNumber(*world_, intent_idx, a);
+    long long vb = FactNumber(*world_, intent_idx, b);
+    if (va < 0 || vb < 0) continue;
+    result.answered = true;
+    result.value = world_->kb.EntityName(va >= vb ? a : b);
+    result.predicate = world_->schema.intents()[intent_idx].name;
+    result.score = 1.0;
+    return result;
+  }
+  return result;
+}
+
+core::AnswerResult KeywordQa::Answer(const std::string& question) const {
+  std::vector<std::string> tokens = nlp::TokenizeQuestion(question);
+  if (options_.enable_superlatives) {
+    core::AnswerResult sup = AnswerSuperlative(tokens);
+    if (sup.answered) return sup;
+    sup = AnswerComparison(tokens);
+    if (sup.answered) return sup;
+  }
+
+  core::AnswerResult result;
+  auto linked = LinkFirstEntity(world_->kb, *ner_, tokens);
+  if (!linked) return result;
+  std::vector<std::string> content =
+      ContentWords(tokens, linked->begin, linked->end);
+  if (content.empty()) return result;
+
+  // Best predicate by name-token overlap; require a value on the entity.
+  const rdf::KnowledgeBase& kb = world_->kb;
+  rdf::PredId best_pred = rdf::kInvalidPred;
+  size_t best_overlap = 0;
+  rdf::TermId best_value = rdf::kInvalidTerm;
+  for (rdf::PredId p = 0; p < kb.num_predicates(); ++p) {
+    std::vector<std::string> pred_tokens = Split(kb.PredicateString(p), '_');
+    size_t ov = Overlap(content, pred_tokens);
+    if (ov < options_.min_overlap || ov <= best_overlap) continue;
+    std::vector<rdf::TermId> values = kb.Objects(linked->entity, p);
+    if (values.empty()) continue;
+    best_pred = p;
+    best_overlap = ov;
+    best_value = values.front();
+  }
+  if (best_pred == rdf::kInvalidPred) return result;
+  result.answered = true;
+  result.value = TermSurface(kb, best_value);
+  result.predicate = kb.PredicateString(best_pred);
+  result.score = static_cast<double>(best_overlap);
+  return result;
+}
+
+}  // namespace kbqa::baselines

@@ -1,0 +1,53 @@
+#ifndef KBQA_BASELINES_KEYWORD_QA_H_
+#define KBQA_BASELINES_KEYWORD_QA_H_
+
+#include <string>
+
+#include "core/qa_interface.h"
+#include "corpus/world.h"
+#include "nlp/ner.h"
+
+namespace kbqa::baselines {
+
+/// Keyword-based QA (Unger & Cimiano, Pythia-style [29]): content words of
+/// the question are matched against predicate names; the best-overlapping
+/// predicate on the linked entity is answered. Handles b©-style questions
+/// ("what is the population of honolulu") whose wording repeats the
+/// predicate name, and fails a©-style ones ("how many people are there in
+/// honolulu") — exactly the gap the paper's templates close.
+///
+/// Additionally handles superlative/comparison non-BFQs by keyword-matching
+/// the attribute and scanning the type's entities ("which city has the
+/// largest population") — this is what makes it a useful *hybrid* partner
+/// in Table 11, contributing answers where KBQA declines.
+class KeywordQa : public core::QaSystemInterface {
+ public:
+  struct Options {
+    bool enable_superlatives = true;
+    /// Minimum number of overlapping content words to commit.
+    size_t min_overlap = 1;
+  };
+
+  /// Needs the world for the type catalogs behind superlative scans.
+  KeywordQa(const corpus::World* world, const nlp::GazetteerNer* ner,
+            const Options& options);
+  KeywordQa(const corpus::World* world, const nlp::GazetteerNer* ner)
+      : KeywordQa(world, ner, Options()) {}
+
+  std::string name() const override { return "Keyword"; }
+  core::AnswerResult Answer(const std::string& question) const override;
+
+ private:
+  core::AnswerResult AnswerSuperlative(
+      const std::vector<std::string>& tokens) const;
+  core::AnswerResult AnswerComparison(
+      const std::vector<std::string>& tokens) const;
+
+  const corpus::World* world_;
+  const nlp::GazetteerNer* ner_;
+  Options options_;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_KEYWORD_QA_H_

@@ -1,0 +1,60 @@
+#include "baselines/rule_qa.h"
+
+#include <vector>
+
+#include "baselines/common.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+
+namespace kbqa::baselines {
+
+namespace {
+
+/// Tries to read "<prefix...> the X of E" where E is the linked mention at
+/// the question tail; returns the X tokens joined by '_', or "".
+std::string ExtractRulePredicate(const std::vector<std::string>& tokens,
+                                 const LinkedEntity& entity) {
+  // Frame 1: "what/who is the X of $e" — X spans tokens [3, of_pos).
+  if (tokens.size() >= 6 && entity.end == tokens.size() &&
+      (tokens[0] == "what" || tokens[0] == "who") &&
+      (tokens[1] == "is" || tokens[1] == "was") && tokens[2] == "the") {
+    // Find the "of" immediately before the mention.
+    if (entity.begin >= 5 && tokens[entity.begin - 1] == "of") {
+      std::vector<std::string> x(tokens.begin() + 3,
+                                 tokens.begin() + entity.begin - 1);
+      if (!x.empty()) return Join(x, "_");
+    }
+  }
+  // Frame 2: "what is $e 's X" — X is the trailing run after "'s".
+  if (entity.begin == 2 && tokens.size() > entity.end + 1 &&
+      tokens[0] == "what" && tokens[1] == "is" &&
+      tokens[entity.end] == "'s") {
+    std::vector<std::string> x(tokens.begin() + entity.end + 1, tokens.end());
+    if (!x.empty()) return Join(x, "_");
+  }
+  return "";
+}
+
+}  // namespace
+
+core::AnswerResult RuleQa::Answer(const std::string& question) const {
+  core::AnswerResult result;
+  std::vector<std::string> tokens = nlp::TokenizeQuestion(question);
+  auto linked = LinkFirstEntity(*kb_, *ner_, tokens);
+  if (!linked) return result;
+
+  std::string pred_name = ExtractRulePredicate(tokens, *linked);
+  if (pred_name.empty()) return result;
+  auto pred = kb_->LookupPredicate(pred_name);
+  if (!pred) return result;
+
+  std::vector<rdf::TermId> values = kb_->Objects(linked->entity, *pred);
+  if (values.empty()) return result;
+  result.answered = true;
+  result.value = TermSurface(*kb_, values.front());
+  result.predicate = pred_name;
+  result.score = 1.0;
+  return result;
+}
+
+}  // namespace kbqa::baselines

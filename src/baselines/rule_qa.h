@@ -1,0 +1,32 @@
+#ifndef KBQA_BASELINES_RULE_QA_H_
+#define KBQA_BASELINES_RULE_QA_H_
+
+#include <string>
+
+#include "core/qa_interface.h"
+#include "nlp/ner.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::baselines {
+
+/// Rule-based QA (Ou et al. [23]): manually constructed question frames.
+/// "what is the <x> of <e>?" maps to the predicate literally named <x>
+/// (tokens joined by '_'); a handful of analogous frames are hardcoded.
+/// High precision, very low recall — the canonical ceiling of hand-written
+/// rules the paper motivates against.
+class RuleQa : public core::QaSystemInterface {
+ public:
+  RuleQa(const rdf::KnowledgeBase* kb, const nlp::GazetteerNer* ner)
+      : kb_(kb), ner_(ner) {}
+
+  std::string name() const override { return "Rule"; }
+  core::AnswerResult Answer(const std::string& question) const override;
+
+ private:
+  const rdf::KnowledgeBase* kb_;
+  const nlp::GazetteerNer* ner_;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_RULE_QA_H_

@@ -1,0 +1,114 @@
+#include "baselines/synonym_lexicon.h"
+
+#include <algorithm>
+
+#include "nlp/tokenizer.h"
+
+namespace kbqa::baselines {
+
+namespace {
+
+/// Finds the first token position of `needle` inside `haystack`, or npos.
+size_t FindTokenRun(const std::vector<std::string>& haystack,
+                    const std::vector<std::string>& needle) {
+  if (needle.empty() || needle.size() > haystack.size()) {
+    return std::string::npos;
+  }
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (haystack[i + j] != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return i;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+SynonymLexicon SynonymLexicon::Learn(
+    const rdf::KnowledgeBase& kb, const rdf::ExpandedKb& ekb,
+    const nlp::GazetteerNer& ner, const std::vector<std::string>& sentences,
+    size_t max_path_length) {
+  SynonymLexicon lexicon;
+  for (const std::string& sentence : sentences) {
+    std::vector<std::string> tokens = nlp::Tokenize(sentence);
+    std::vector<nlp::Mention> mentions = ner.FindMentions(tokens);
+    for (const nlp::Mention& mention : mentions) {
+      for (rdf::TermId entity : mention.entities) {
+        for (const auto& [path_id, object] : ekb.Out(entity)) {
+          if (ekb.paths().GetPath(path_id).size() > max_path_length) continue;
+          if (!kb.IsLiteral(object)) continue;
+          std::vector<std::string> value_tokens =
+              nlp::Tokenize(kb.NodeString(object));
+          size_t vpos = FindTokenRun(tokens, value_tokens);
+          if (vpos == std::string::npos) continue;
+          size_t vend = vpos + value_tokens.size();
+          // BOA pattern: the tokens strictly between entity and value
+          // (either order). Overlapping spans yield no pattern.
+          size_t lo, hi;
+          if (vend <= mention.begin) {
+            lo = vend;
+            hi = mention.begin;
+          } else if (mention.end <= vpos) {
+            lo = mention.end;
+            hi = vpos;
+          } else {
+            continue;
+          }
+          if (hi <= lo || hi - lo > 6) continue;  // Empty or too long.
+          std::string phrase = nlp::JoinTokens(
+              std::vector<std::string>(tokens.begin() + lo, tokens.begin() + hi));
+          auto& per_path = lexicon.counts_[phrase];
+          if (per_path.emplace(path_id, 0).second) ++lexicon.num_patterns_;
+          ++per_path[path_id];
+        }
+      }
+    }
+  }
+  return lexicon;
+}
+
+std::optional<SynonymLexicon::Entry> SynonymLexicon::Lookup(
+    const std::string& phrase) const {
+  auto it = counts_.find(phrase);
+  if (it == counts_.end()) return std::nullopt;
+  Entry best{rdf::kInvalidPath, 0};
+  for (const auto& [path, count] : it->second) {
+    if (count > best.count || (count == best.count && path < best.path)) {
+      best = Entry{path, count};
+    }
+  }
+  if (best.count == 0) return std::nullopt;
+  return best;
+}
+
+size_t SynonymLexicon::num_predicates() const {
+  std::vector<rdf::PathId> paths;
+  for (const auto& [phrase, per_path] : counts_) {
+    (void)phrase;
+    for (const auto& [path, count] : per_path) {
+      (void)count;
+      paths.push_back(path);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  return paths.size();
+}
+
+std::vector<std::string> SynonymLexicon::Phrases() const {
+  std::vector<std::string> phrases;
+  phrases.reserve(counts_.size());
+  for (const auto& [phrase, per_path] : counts_) {
+    (void)per_path;
+    phrases.push_back(phrase);
+  }
+  std::sort(phrases.begin(), phrases.end());
+  return phrases;
+}
+
+}  // namespace kbqa::baselines

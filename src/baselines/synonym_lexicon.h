@@ -1,0 +1,71 @@
+#ifndef KBQA_BASELINES_SYNONYM_LEXICON_H_
+#define KBQA_BASELINES_SYNONYM_LEXICON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nlp/ner.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::baselines {
+
+/// A BOA-style bootstrapped synonym lexicon (Gerber & Ngonga Ngomo [14],
+/// used by the template-based-over-RDF system of Unger et al. [28] and, in
+/// spirit, by DEANNA [33]).
+///
+/// Learning: scan a sentence ("web document") corpus; whenever an entity
+/// and one of its KB-connected values co-occur in a sentence, the token
+/// phrase *between* them is evidence that the phrase denotes the connecting
+/// predicate. Phrases are counted per predicate path; the lexicon keeps the
+/// majority predicate per phrase.
+///
+/// This is the paper's "synonym based" representation: one phrase stands
+/// for the intent. It inherits the family's weakness by construction —
+/// discontinuous or holistic phrasings ("how many people are there in X")
+/// never occur *between* entity and value, so they are never learned.
+class SynonymLexicon {
+ public:
+  struct Entry {
+    rdf::PathId path;
+    uint64_t count;
+  };
+
+  /// Learns the lexicon from `sentences`. `ekb` supplies entity–value
+  /// connectivity. `max_path_length` bounds the KB structures the
+  /// bootstrapper can align against: the original BOA patterns align via
+  /// *direct* predicates (length 1) — learning synonyms for complex
+  /// substructures came only later with gAnswer [38], which is exactly the
+  /// coverage gap Table 12 measures.
+  static SynonymLexicon Learn(const rdf::KnowledgeBase& kb,
+                              const rdf::ExpandedKb& ekb,
+                              const nlp::GazetteerNer& ner,
+                              const std::vector<std::string>& sentences,
+                              size_t max_path_length = 1);
+
+  /// Majority predicate for `phrase` (space-joined lowercase tokens).
+  std::optional<Entry> Lookup(const std::string& phrase) const;
+
+  /// Number of distinct (phrase, predicate) patterns learned — the
+  /// "templates" row of the paper's Table 12 for bootstrapping.
+  size_t num_patterns() const { return num_patterns_; }
+  /// Number of distinct predicates covered by some phrase.
+  size_t num_predicates() const;
+
+  /// All learned phrases (tests / case studies).
+  std::vector<std::string> Phrases() const;
+
+ private:
+  // phrase -> (path -> count); collapsed to majority at lookup.
+  std::unordered_map<std::string,
+                     std::unordered_map<rdf::PathId, uint64_t>>
+      counts_;
+  size_t num_patterns_ = 0;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_SYNONYM_LEXICON_H_

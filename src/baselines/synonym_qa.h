@@ -1,0 +1,40 @@
+#ifndef KBQA_BASELINES_SYNONYM_QA_H_
+#define KBQA_BASELINES_SYNONYM_QA_H_
+
+#include <string>
+
+#include "baselines/synonym_lexicon.h"
+#include "core/qa_interface.h"
+#include "corpus/world.h"
+#include "nlp/ner.h"
+#include "rdf/expanded_predicate.h"
+
+namespace kbqa::baselines {
+
+/// Synonym-based QA in the style of DEANNA [33]: phrases of the question
+/// are matched against a bootstrapped synonym lexicon; the phrase-predicate
+/// and mention-entity assignments are disambiguated *jointly* by exhaustive
+/// scoring (DEANNA solves an ILP — NP-hard question understanding; at our
+/// scale the same joint search is an explicit enumeration over every
+/// (mention candidate × phrase span × lexicon predicate) combination with
+/// edit-distance similarity, which is what makes this the slowest system in
+/// the Table 14 latency comparison, as in the paper).
+class SynonymQa : public core::QaSystemInterface {
+ public:
+  SynonymQa(const corpus::World* world, const rdf::ExpandedKb* ekb,
+            const nlp::GazetteerNer* ner, const SynonymLexicon* lexicon)
+      : world_(world), ekb_(ekb), ner_(ner), lexicon_(lexicon) {}
+
+  std::string name() const override { return "Synonym"; }
+  core::AnswerResult Answer(const std::string& question) const override;
+
+ private:
+  const corpus::World* world_;
+  const rdf::ExpandedKb* ekb_;
+  const nlp::GazetteerNer* ner_;
+  const SynonymLexicon* lexicon_;
+};
+
+}  // namespace kbqa::baselines
+
+#endif  // KBQA_BASELINES_SYNONYM_QA_H_

@@ -1,0 +1,51 @@
+#ifndef KBQA_CORE_ANSWER_TYPE_H_
+#define KBQA_CORE_ANSWER_TYPE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nlp/question_classifier.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::core {
+
+/// Per-predicate UIUC answer-class labels ("manually labeled" in §4.1.1 —
+/// feasible because there are only a few thousand predicates).
+using PredicateClassMap =
+    std::unordered_map<rdf::PredId, nlp::QuestionClass>;
+
+/// Answer class of an expanded predicate: the label of the last *labeled*
+/// predicate on the path. Name-like predicates are transparent (they merely
+/// surface the target entity's string), so `marriage -> person -> name`
+/// resolves to the label of `person` (HUM) and `capital -> name` to LOC.
+/// Returns kUnknown when no predicate on the path is labeled.
+inline nlp::QuestionClass PathAnswerClass(
+    const rdf::PredPath& path, const PredicateClassMap& classes,
+    const std::unordered_set<rdf::PredId>& name_like) {
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (name_like.count(*it) > 0) continue;
+    auto hit = classes.find(*it);
+    if (hit != classes.end()) return hit->second;
+  }
+  return nlp::QuestionClass::kUnknown;
+}
+
+/// True when a value of class `value_class` is an acceptable answer for a
+/// question of class `question_class`. Unknowns are permissive — the filter
+/// is precision-oriented but must not throw away evidence it cannot judge.
+inline bool AnswerClassCompatible(nlp::QuestionClass question_class,
+                                  nlp::QuestionClass value_class) {
+  using QC = nlp::QuestionClass;
+  if (question_class == QC::kUnknown || value_class == QC::kUnknown) {
+    return true;
+  }
+  if (question_class == value_class) return true;
+  // DESC questions put no constraint on the value.
+  if (question_class == QC::kDescription) return true;
+  return false;
+}
+
+}  // namespace kbqa::core
+
+#endif  // KBQA_CORE_ANSWER_TYPE_H_

@@ -1,0 +1,104 @@
+#include "core/decomposer.h"
+
+#include <cassert>
+
+#include "nlp/tokenizer.h"
+
+namespace kbqa::core {
+
+namespace {
+
+/// DP cell for one token span.
+struct Cell {
+  double prob = 0;
+  bool primitive = false;
+  // When !primitive and prob > 0: the inner sub-span and the outer pattern.
+  size_t inner_begin = 0;
+  size_t inner_end = 0;
+  std::string pattern;
+};
+
+}  // namespace
+
+ComplexDecomposer::ComplexDecomposer(const nlp::PatternIndex* pattern_index,
+                                     PrimitiveProbe is_primitive,
+                                     const Options& options)
+    : pattern_index_(pattern_index),
+      is_primitive_(std::move(is_primitive)),
+      options_(options) {}
+
+Decomposition ComplexDecomposer::Decompose(
+    const std::vector<std::string>& tokens) const {
+  Decomposition out;
+  size_t n = std::min(tokens.size(), options_.max_tokens);
+  if (n == 0) return out;
+
+  // cells[b * (n + 1) + e] covers the token span [b, e).
+  std::vector<Cell> cells((n + 1) * (n + 1));
+  auto cell = [&](size_t b, size_t e) -> Cell& {
+    return cells[b * (n + 1) + e];
+  };
+
+  // Ascending span length guarantees P(A*(q_j)) is final before any outer
+  // span consults it (the DP order Algorithm 2 prescribes).
+  for (size_t len = 1; len <= n; ++len) {
+    for (size_t b = 0; b + len <= n; ++b) {
+      size_t e = b + len;
+      Cell& c = cell(b, e);
+      std::vector<std::string> span(tokens.begin() + b, tokens.begin() + e);
+
+      // δ(q_i): primitive BFQ wins outright with probability 1 (Eq. 28
+      // takes the max with δ first; δ = 1 dominates all products).
+      if (len >= options_.min_inner_tokens && is_primitive_(span)) {
+        c.prob = 1.0;
+        c.primitive = true;
+        continue;
+      }
+
+      // Otherwise, best split: inner sub-span [b2, e2) answered first, the
+      // remainder becomes the outer $e pattern.
+      for (size_t b2 = b; b2 < e; ++b2) {
+        for (size_t e2 = b2 + options_.min_inner_tokens; e2 <= e; ++e2) {
+          if (b2 == b && e2 == e) continue;  // Proper sub-span only.
+          const Cell& inner = cell(b2, e2);
+          if (inner.prob <= 0) continue;
+          std::string pattern = nlp::MakePattern(span, b2 - b, e2 - b);
+          double p_r = pattern_index_->ValidProbability(pattern);
+          double p = p_r * inner.prob;
+          if (p > c.prob) {
+            c.prob = p;
+            c.primitive = false;
+            c.inner_begin = b2;
+            c.inner_end = e2;
+            c.pattern = std::move(pattern);
+          }
+        }
+      }
+    }
+  }
+
+  const Cell& root = cell(0, n);
+  if (root.prob <= 0) return out;
+  out.probability = root.prob;
+
+  // Reconstruct A*(q): walk inward collecting outer patterns, then reverse
+  // so the sequence starts with the innermost primitive BFQ.
+  std::vector<std::string> reversed;
+  size_t b = 0, e = n;
+  while (true) {
+    const Cell& c = cell(b, e);
+    if (c.primitive) {
+      reversed.push_back(nlp::JoinTokens(
+          std::vector<std::string>(tokens.begin() + b, tokens.begin() + e)));
+      break;
+    }
+    reversed.push_back(c.pattern);
+    size_t nb = c.inner_begin, ne = c.inner_end;
+    b = nb;
+    e = ne;
+  }
+  out.sequence.assign(reversed.rbegin(), reversed.rend());
+  return out;
+}
+
+}  // namespace kbqa::core

@@ -1,0 +1,53 @@
+#ifndef KBQA_CORE_DECOMPOSER_H_
+#define KBQA_CORE_DECOMPOSER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nlp/pattern.h"
+
+namespace kbqa::core {
+
+/// A decomposition A = (qˇ0, ..., qˇk): qˇ0 is a directly answerable BFQ;
+/// each later element is a question pattern with the "$e" slot to be filled
+/// by the previous answer (§5.1).
+struct Decomposition {
+  std::vector<std::string> sequence;
+  /// P(A) = Π P(qˇ) (Eq. 27); 1.0 for a primitive single-question "chain".
+  double probability = 0;
+};
+
+/// Complex-question decomposition via the O(|q|⁴) dynamic program of §5.3
+/// (Algorithm 2). P(qˇ) for replaced patterns comes from the corpus
+/// PatternIndex (Eq. 26); δ(q) — "is this span a primitive BFQ" — is
+/// supplied by the caller (in practice OnlineInference::IsPrimitiveBfq).
+class ComplexDecomposer {
+ public:
+  using PrimitiveProbe = std::function<bool(const std::vector<std::string>&)>;
+
+  struct Options {
+    /// Questions longer than this are truncated from consideration (the
+    /// paper notes 99% of questions have < 23 words).
+    size_t max_tokens = 23;
+    /// Spans shorter than this many tokens are never treated as the inner
+    /// question (single words are not BFQs).
+    size_t min_inner_tokens = 2;
+  };
+
+  ComplexDecomposer(const nlp::PatternIndex* pattern_index,
+                    PrimitiveProbe is_primitive, const Options& options);
+
+  /// Returns the maximum-probability decomposition of `tokens`, or a
+  /// zero-probability result when no valid decomposition exists.
+  Decomposition Decompose(const std::vector<std::string>& tokens) const;
+
+ private:
+  const nlp::PatternIndex* pattern_index_;
+  PrimitiveProbe is_primitive_;
+  Options options_;
+};
+
+}  // namespace kbqa::core
+
+#endif  // KBQA_CORE_DECOMPOSER_H_

@@ -1,0 +1,225 @@
+#include "core/em_learner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nlp/tokenizer.h"
+
+namespace kbqa::core {
+
+namespace {
+
+/// θ key: template in the high 32 bits, path in the low 32.
+uint64_t ThetaKey(TemplateId t, rdf::PathId p) {
+  return (static_cast<uint64_t>(t) << 32) | p;
+}
+
+}  // namespace
+
+std::string MakeTemplateText(const std::vector<std::string>& tokens,
+                             size_t mention_begin, size_t mention_end,
+                             const std::string& category) {
+  assert(mention_begin < mention_end && mention_end <= tokens.size());
+  std::string out;
+  for (size_t i = 0; i < mention_begin; ++i) {
+    if (!out.empty()) out += ' ';
+    out += tokens[i];
+  }
+  if (!out.empty()) out += ' ';
+  out += category;
+  for (size_t i = mention_end; i < tokens.size(); ++i) {
+    out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+EmLearner::EmLearner(const rdf::KnowledgeBase* kb, const rdf::ExpandedKb* ekb,
+                     const taxonomy::Taxonomy* taxonomy,
+                     const EvExtractor* extractor, const EmOptions& options)
+    : kb_(kb),
+      ekb_(ekb),
+      taxonomy_(taxonomy),
+      extractor_(extractor),
+      options_(options) {}
+
+void EmLearner::BuildObservations(const corpus::QaCorpus& corpus,
+                                  TemplateStore* store,
+                                  std::vector<Observation>* observations,
+                                  EmStats* stats) const {
+  size_t questions_with_entities = 0;
+  size_t total_entities = 0;
+  size_t total_template_cands = 0;
+  size_t total_pred_cands = 0;
+
+  for (size_t qi = 0; qi < corpus.pairs.size(); ++qi) {
+    const corpus::QaPair& pair = corpus.pairs[qi];
+    std::vector<std::string> tokens = nlp::TokenizeQuestion(pair.question);
+    std::vector<EvCandidate> candidates =
+        extractor_->Extract(tokens, pair.answer);
+    if (candidates.empty()) continue;
+
+    // P(e|q_i): uniform over the distinct entities appearing in EV_i
+    // (Eq. 4 — the joint extraction replaces plain NER here).
+    std::unordered_set<rdf::TermId> distinct_entities;
+    for (const EvCandidate& cand : candidates) {
+      distinct_entities.insert(cand.entity);
+    }
+    const double p_e = 1.0 / static_cast<double>(distinct_entities.size());
+    ++questions_with_entities;
+    total_entities += distinct_entities.size();
+
+    for (const EvCandidate& cand : candidates) {
+      // Conceptualize the entity in the question's context — the template
+      // candidates T with P(t|e, q) > 0.
+      std::vector<std::string> context;
+      context.reserve(tokens.size());
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i < cand.mention_begin || i >= cand.mention_end) {
+          context.push_back(tokens[i]);
+        }
+      }
+      std::vector<taxonomy::ScoredCategory> categories =
+          taxonomy_->Conceptualize(cand.entity, context);
+      if (categories.size() > options_.max_categories_per_entity) {
+        categories.resize(options_.max_categories_per_entity);
+      }
+      double cat_mass = 0;
+      for (const auto& sc : categories) {
+        if (sc.probability >= options_.min_category_prob) {
+          cat_mass += sc.probability;
+        }
+      }
+      if (cat_mass <= 0) continue;
+
+      Observation obs;
+      for (const auto& sc : categories) {
+        if (sc.probability < options_.min_category_prob) continue;
+        TemplateId t = store->Intern(MakeTemplateText(
+            tokens, cand.mention_begin, cand.mention_end,
+            taxonomy_->CategoryName(sc.category)));
+        store->AddFrequency(t);
+        const double p_t = sc.probability / cat_mass;
+        for (rdf::PathId path : cand.paths) {
+          const size_t fanout = ekb_->Objects(cand.entity, path).size();
+          if (fanout == 0) continue;
+          const double p_v = 1.0 / static_cast<double>(fanout);
+          obs.z.push_back(ZPair{t, path, p_e * p_t * p_v});
+        }
+        total_template_cands += 1;
+      }
+      if (!obs.z.empty()) {
+        total_pred_cands += cand.paths.size();
+        observations->push_back(std::move(obs));
+      }
+    }
+  }
+
+  stats->num_qa_pairs = corpus.pairs.size();
+  stats->num_observations = observations->size();
+  if (questions_with_entities > 0) {
+    stats->avg_entities_per_question =
+        static_cast<double>(total_entities) /
+        static_cast<double>(questions_with_entities);
+  }
+  if (!observations->empty()) {
+    stats->avg_templates_per_observation =
+        static_cast<double>(total_template_cands) /
+        static_cast<double>(observations->size());
+    stats->avg_predicates_per_observation =
+        static_cast<double>(total_pred_cands) /
+        static_cast<double>(observations->size());
+  }
+}
+
+Status EmLearner::Train(const corpus::QaCorpus& corpus, TemplateStore* store,
+                        EmStats* stats) const {
+  if (store == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("store and stats must be non-null");
+  }
+
+  std::vector<Observation> observations;
+  BuildObservations(corpus, store, &observations, stats);
+  if (observations.empty()) {
+    return Status::FailedPrecondition(
+        "no (question, entity, value) observations could be extracted; "
+        "check that corpus entities exist in the knowledge base");
+  }
+
+  // θ⁰ (Eq. 23): uniform over the (p, t) pairs observed with f > 0.
+  std::unordered_map<uint64_t, double> theta;
+  std::unordered_map<TemplateId, std::vector<rdf::PathId>> paths_of_template;
+  for (const Observation& obs : observations) {
+    for (const ZPair& z : obs.z) {
+      auto [it, inserted] = theta.emplace(ThetaKey(z.t, z.p), 0.0);
+      if (inserted) paths_of_template[z.t].push_back(z.p);
+      (void)it;
+    }
+  }
+  for (const auto& [t, paths] : paths_of_template) {
+    const double uniform = 1.0 / static_cast<double>(paths.size());
+    for (rdf::PathId p : paths) theta[ThetaKey(t, p)] = uniform;
+  }
+
+  if (options_.run_em) {
+    std::unordered_map<uint64_t, double> acc;
+    acc.reserve(theta.size());
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      // E-step: responsibilities per observation (Eq. 21, normalized).
+      acc.clear();
+      double log_likelihood = 0;
+      for (const Observation& obs : observations) {
+        double total = 0;
+        for (const ZPair& z : obs.z) {
+          total += z.f * theta[ThetaKey(z.t, z.p)];
+        }
+        if (total <= 0) continue;
+        log_likelihood += std::log(total);
+        for (const ZPair& z : obs.z) {
+          const double gamma = z.f * theta[ThetaKey(z.t, z.p)] / total;
+          acc[ThetaKey(z.t, z.p)] += gamma;
+        }
+      }
+      stats->log_likelihood.push_back(log_likelihood);
+
+      // M-step: per-template normalization (Eq. 22).
+      double max_delta = 0;
+      for (const auto& [t, paths] : paths_of_template) {
+        double denom = 0;
+        for (rdf::PathId p : paths) {
+          auto it = acc.find(ThetaKey(t, p));
+          if (it != acc.end()) denom += it->second;
+        }
+        if (denom <= 0) continue;
+        for (rdf::PathId p : paths) {
+          auto it = acc.find(ThetaKey(t, p));
+          const double next = it == acc.end() ? 0.0 : it->second / denom;
+          double& cur = theta[ThetaKey(t, p)];
+          max_delta = std::max(max_delta, std::abs(next - cur));
+          cur = next;
+        }
+      }
+      stats->iterations = iter + 1;
+      if (max_delta < options_.tolerance) break;
+    }
+  }
+
+  // Materialize P(p|t) into the store.
+  for (const auto& [t, paths] : paths_of_template) {
+    std::vector<PredicateProb> dist;
+    dist.reserve(paths.size());
+    for (rdf::PathId p : paths) {
+      double prob = theta[ThetaKey(t, p)];
+      if (prob > 0) dist.push_back(PredicateProb{p, prob});
+    }
+    store->SetDistribution(t, std::move(dist));
+  }
+  stats->num_templates = store->num_templates();
+  stats->num_predicates = store->NumDistinctPredicates();
+  return Status::Ok();
+}
+
+}  // namespace kbqa::core

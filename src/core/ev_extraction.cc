@@ -1,0 +1,105 @@
+#include "core/ev_extraction.h"
+
+#include <algorithm>
+
+#include "nlp/tokenizer.h"
+
+namespace kbqa::core {
+
+bool ContainsTokenRun(const std::vector<std::string>& haystack,
+                      const std::vector<std::string>& needle) {
+  if (needle.empty() || needle.size() > haystack.size()) return false;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (haystack[i + j] != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+EvExtractor::EvExtractor(const rdf::KnowledgeBase* kb,
+                         const rdf::ExpandedKb* ekb,
+                         const nlp::GazetteerNer* ner,
+                         const nlp::QuestionClassifier* classifier,
+                         const PredicateClassMap* predicate_class,
+                         const std::unordered_set<rdf::PredId>* name_like,
+                         const Options& options)
+    : kb_(kb),
+      ekb_(ekb),
+      ner_(ner),
+      classifier_(classifier),
+      predicate_class_(predicate_class),
+      name_like_(name_like),
+      options_(options) {}
+
+std::vector<EvCandidate> EvExtractor::Extract(
+    const std::vector<std::string>& question_tokens,
+    const std::string& answer) const {
+  std::vector<EvCandidate> out;
+  std::vector<nlp::Mention> mentions = ner_->FindMentions(question_tokens);
+  if (mentions.empty()) return out;
+
+  const std::vector<std::string> answer_tokens = nlp::Tokenize(answer);
+  if (answer_tokens.empty()) return out;
+
+  nlp::QuestionClass question_class = nlp::QuestionClass::kUnknown;
+  if (options_.refine_by_question_class) {
+    question_class = classifier_->Classify(question_tokens);
+  }
+
+  for (const nlp::Mention& mention : mentions) {
+    for (rdf::TermId entity : mention.entities) {
+      // Group the entity's matching triples by value; each value yields one
+      // candidate carrying all connecting paths.
+      EvCandidate* current = nullptr;
+      rdf::TermId current_value = rdf::kInvalidTerm;
+      for (const auto& [path_id, object] : ekb_->Out(entity)) {
+        const rdf::PredPath& path = ekb_->paths().GetPath(path_id);
+        // Refinement: the value's class (from its predicate) must be
+        // compatible with the question's expected answer type.
+        if (options_.refine_by_question_class) {
+          nlp::QuestionClass value_class =
+              PathAnswerClass(path, *predicate_class_, *name_like_);
+          if (!AnswerClassCompatible(question_class, value_class)) continue;
+        }
+        // Skip objects that cannot appear as answer text (entity IRIs).
+        if (!kb_->IsLiteral(object)) continue;
+        if (!ContainsTokenRun(answer_tokens,
+                              nlp::Tokenize(kb_->NodeString(object)))) {
+          continue;
+        }
+        if (current == nullptr || current_value != object) {
+          // Out() is sorted by (path, object), so the same value may recur
+          // non-contiguously; search existing candidates for this entity.
+          current = nullptr;
+          for (EvCandidate& cand : out) {
+            if (cand.entity == entity && cand.value == object &&
+                cand.mention_begin == mention.begin) {
+              current = &cand;
+              break;
+            }
+          }
+          if (current == nullptr) {
+            out.push_back(EvCandidate{mention.begin, mention.end, entity,
+                                      object,
+                                      {}});
+            current = &out.back();
+          }
+          current_value = object;
+        }
+        if (std::find(current->paths.begin(), current->paths.end(), path_id) ==
+            current->paths.end()) {
+          current->paths.push_back(path_id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kbqa::core

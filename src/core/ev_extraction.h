@@ -1,0 +1,80 @@
+#ifndef KBQA_CORE_EV_EXTRACTION_H_
+#define KBQA_CORE_EV_EXTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/answer_type.h"
+#include "nlp/ner.h"
+#include "nlp/question_classifier.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::core {
+
+/// One extracted entity–value candidate from a QA pair (Eq. 8):
+/// e ⊂ q, v ⊂ a, and at least one (possibly expanded) predicate connects
+/// them in the knowledge base.
+struct EvCandidate {
+  /// Token span of the entity mention in the question.
+  size_t mention_begin = 0;
+  size_t mention_end = 0;
+  rdf::TermId entity = rdf::kInvalidTerm;
+  rdf::TermId value = rdf::kInvalidTerm;
+  /// All expanded predicates connecting entity to value.
+  std::vector<rdf::PathId> paths;
+};
+
+/// Joint entity–value extraction (§4.1.1) with question-class refinement.
+///
+/// The direction of the scan is the key to efficiency: instead of matching
+/// every answer substring against the KB, it enumerates the entity's
+/// materialized expanded triples (tens per entity) and checks which objects
+/// occur in the answer — the same join order the paper's "reduction on s"
+/// sets up. Value matching is token-contiguous, so "1961" does not match
+/// inside "21961".
+class EvExtractor {
+ public:
+  struct Options {
+    /// Apply the UIUC answer-type filter (the paper's refinement step).
+    bool refine_by_question_class = true;
+  };
+
+  /// All references must outlive the extractor.
+  EvExtractor(const rdf::KnowledgeBase* kb, const rdf::ExpandedKb* ekb,
+              const nlp::GazetteerNer* ner,
+              const nlp::QuestionClassifier* classifier,
+              const PredicateClassMap* predicate_class,
+              const std::unordered_set<rdf::PredId>* name_like,
+              const Options& options);
+
+  /// Extracts EV candidates from one QA pair. `question_tokens` must come
+  /// from nlp::TokenizeQuestion.
+  std::vector<EvCandidate> Extract(
+      const std::vector<std::string>& question_tokens,
+      const std::string& answer) const;
+
+  /// Entity mentions found in the question (exposed so callers can reuse
+  /// the NER pass, e.g. for pattern-index construction).
+  std::vector<nlp::Mention> Mentions(
+      const std::vector<std::string>& question_tokens) const {
+    return ner_->FindMentions(question_tokens);
+  }
+
+ private:
+  const rdf::KnowledgeBase* kb_;
+  const rdf::ExpandedKb* ekb_;
+  const nlp::GazetteerNer* ner_;
+  const nlp::QuestionClassifier* classifier_;
+  const PredicateClassMap* predicate_class_;
+  const std::unordered_set<rdf::PredId>* name_like_;
+  Options options_;
+};
+
+/// True when `needle` occurs as a contiguous token run inside `haystack`.
+bool ContainsTokenRun(const std::vector<std::string>& haystack,
+                      const std::vector<std::string>& needle);
+
+}  // namespace kbqa::core
+
+#endif  // KBQA_CORE_EV_EXTRACTION_H_

@@ -1,0 +1,119 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace kbqa::core {
+
+namespace {
+
+constexpr uint64_t kModelMagic = 0x4b42514d4f44454cULL;  // "KBQMODEL"
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteF64(std::FILE* f, double v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteString(std::FILE* f, const std::string& s) {
+  return WriteU64(f, s.size()) &&
+         (s.empty() || std::fwrite(s.data(), 1, s.size(), f) == s.size());
+}
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadF64(std::FILE* f, double* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadString(std::FILE* f, std::string* s) {
+  uint64_t n = 0;
+  if (!ReadU64(f, &n) || n > (1ULL << 30)) return false;
+  s->resize(n);
+  return n == 0 || std::fread(s->data(), 1, n, f) == n;
+}
+
+}  // namespace
+
+Status SaveModel(const TemplateStore& store, const rdf::PathDictionary& paths,
+                 const rdf::KnowledgeBase& kb, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  bool ok = WriteU64(f, kModelMagic) && WriteU64(f, store.num_templates());
+  for (TemplateId t = 0; ok && t < store.num_templates(); ++t) {
+    ok = WriteString(f, store.TemplateText(t)) &&
+         WriteU64(f, store.Frequency(t));
+    auto dist = store.Distribution(t);
+    ok = ok && WriteU64(f, dist.size());
+    for (const PredicateProb& entry : dist) {
+      if (!ok) break;
+      const rdf::PredPath& pred_path = paths.GetPath(entry.path);
+      ok = WriteU64(f, pred_path.size());
+      for (rdf::PredId p : pred_path) {
+        ok = ok && WriteString(f, kb.PredicateString(p));
+      }
+      ok = ok && WriteF64(f, entry.probability);
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  return ok ? Status::Ok() : Status::IoError("short write: " + path);
+}
+
+Result<LoadedModel> LoadModel(const rdf::KnowledgeBase& kb,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  LoadedModel model;
+  uint64_t magic = 0, num_templates = 0;
+  bool ok = ReadU64(f, &magic) && magic == kModelMagic &&
+            ReadU64(f, &num_templates);
+  for (uint64_t t = 0; ok && t < num_templates; ++t) {
+    std::string text;
+    uint64_t frequency = 0, dist_size = 0;
+    ok = ReadString(f, &text) && ReadU64(f, &frequency) &&
+         ReadU64(f, &dist_size);
+    if (!ok) break;
+    TemplateId id = model.store.Intern(text);
+    model.store.AddFrequency(id, frequency);
+    std::vector<PredicateProb> dist;
+    double dropped_mass = 0;
+    for (uint64_t d = 0; ok && d < dist_size; ++d) {
+      uint64_t path_len = 0;
+      ok = ReadU64(f, &path_len) && path_len >= 1 && path_len <= 16;
+      rdf::PredPath pred_path;
+      bool resolvable = true;
+      for (uint64_t i = 0; ok && i < path_len; ++i) {
+        std::string pred_name;
+        ok = ReadString(f, &pred_name);
+        if (!ok) break;
+        auto pred = kb.LookupPredicate(pred_name);
+        if (pred) {
+          pred_path.push_back(*pred);
+        } else {
+          resolvable = false;  // predicate no longer in the KB
+        }
+      }
+      double probability = 0;
+      ok = ok && ReadF64(f, &probability);
+      if (!ok) break;
+      if (resolvable) {
+        dist.push_back(
+            PredicateProb{model.paths.Intern(pred_path), probability});
+      } else {
+        dropped_mass += probability;
+      }
+    }
+    if (!ok) break;
+    if (!dist.empty() && dropped_mass > 0) {
+      const double keep = 1.0 - dropped_mass;
+      if (keep > 0) {
+        for (PredicateProb& entry : dist) entry.probability /= keep;
+      }
+    }
+    model.store.SetDistribution(id, std::move(dist));
+  }
+  std::fclose(f);
+  if (!ok) return Status::Corruption("malformed model file: " + path);
+  return model;
+}
+
+}  // namespace kbqa::core

@@ -1,0 +1,178 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/em_learner.h"
+#include "nlp/tokenizer.h"
+#include "rdf/query.h"
+
+namespace kbqa::core {
+
+OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
+                                 const taxonomy::Taxonomy* taxonomy,
+                                 const nlp::GazetteerNer* ner,
+                                 const TemplateStore* store,
+                                 const rdf::PathDictionary* paths,
+                                 const Options& options)
+    : kb_(kb),
+      taxonomy_(taxonomy),
+      ner_(ner),
+      store_(store),
+      paths_(paths),
+      options_(options) {}
+
+AnswerResult OnlineInference::Answer(const std::string& question) const {
+  return AnswerTokens(nlp::TokenizeQuestion(question));
+}
+
+AnswerResult OnlineInference::AnswerTokens(
+    const std::vector<std::string>& tokens) const {
+  AnswerResult result;
+  std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
+  if (mentions.empty()) return result;
+
+  size_t total_entities = 0;
+  for (const nlp::Mention& m : mentions) total_entities += m.entities.size();
+  if (total_entities == 0) return result;
+  result.num_entities = total_entities;
+  const double p_e = 1.0 / static_cast<double>(total_entities);
+
+  struct ValueSupport {
+    double score = 0;
+    double best_term = 0;  // strongest single (e,t,p) contribution
+    TemplateId best_template = kInvalidTemplate;
+    rdf::PathId best_path = rdf::kInvalidPath;
+  };
+  std::unordered_map<rdf::TermId, ValueSupport> posterior;
+
+  for (const nlp::Mention& mention : mentions) {
+    std::vector<std::string> context;
+    context.reserve(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
+    }
+    for (rdf::TermId entity : mention.entities) {
+      std::vector<taxonomy::ScoredCategory> categories =
+          taxonomy_->Conceptualize(entity, context);
+      if (categories.size() > options_.max_categories_per_entity) {
+        categories.resize(options_.max_categories_per_entity);
+      }
+      double cat_mass = 0;
+      for (const auto& sc : categories) {
+        if (sc.probability >= options_.min_category_prob) {
+          cat_mass += sc.probability;
+        }
+      }
+      if (cat_mass <= 0) continue;
+
+      for (const auto& sc : categories) {
+        if (sc.probability < options_.min_category_prob) continue;
+        auto t = store_->Lookup(
+            MakeTemplateText(tokens, mention.begin, mention.end,
+                             taxonomy_->CategoryName(sc.category)));
+        if (!t) continue;
+        ++result.num_templates;
+        const double p_t = sc.probability / cat_mass;
+
+        for (const PredicateProb& pp : store_->Distribution(*t)) {
+          if (pp.probability < options_.min_predicate_prob) continue;
+          ++result.num_predicates;
+          std::vector<rdf::TermId> values =
+              rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(pp.path));
+          if (values.empty()) continue;
+          const double p_v = 1.0 / static_cast<double>(values.size());
+          ++result.num_grounded_predicates;
+          result.num_values += values.size();
+          const double term = p_e * p_t * pp.probability * p_v;
+          for (rdf::TermId v : values) {
+            ValueSupport& support = posterior[v];
+            support.score += term;
+            if (term > support.best_term) {
+              support.best_term = term;
+              support.best_template = *t;
+              support.best_path = pp.path;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (posterior.empty()) return result;
+
+  result.ranked.reserve(posterior.size());
+  for (const auto& [v, support] : posterior) {
+    result.ranked.push_back(
+        AnswerCandidate{v, support.score, support.best_template,
+                        support.best_path});
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const AnswerCandidate& a, const AnswerCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.value < b.value;  // Deterministic tie-break.
+            });
+
+  const AnswerCandidate& best = result.ranked.front();
+  if (best.score < options_.min_answer_score) return result;
+  result.answered = true;
+  result.score = best.score;
+  result.value = kb_->IsLiteral(best.value) ? kb_->NodeString(best.value)
+                                            : kb_->EntityName(best.value);
+  result.predicate = paths_->ToString(best.best_path, *kb_);
+  // Emit the equivalent structured query. The winning entity is recovered
+  // from the strongest supporting mention (the value's best (e,t,p) term
+  // tracked it implicitly via best_path; re-derive by checking which
+  // candidate entity reaches the value through the path).
+  for (const nlp::Mention& mention : mentions) {
+    for (rdf::TermId entity : mention.entities) {
+      std::vector<rdf::TermId> check =
+          rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(best.best_path));
+      if (std::find(check.begin(), check.end(), best.value) != check.end()) {
+        result.sparql = rdf::QueryToString(rdf::BuildPathQuery(
+            *kb_, entity, paths_->GetPath(best.best_path)));
+        for (rdf::TermId v : check) {
+          result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
+                                                    : kb_->EntityName(v));
+        }
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+bool OnlineInference::IsPrimitiveBfq(
+    const std::vector<std::string>& tokens) const {
+  std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
+  for (const nlp::Mention& mention : mentions) {
+    std::vector<std::string> context;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
+    }
+    for (rdf::TermId entity : mention.entities) {
+      std::vector<taxonomy::ScoredCategory> categories =
+          taxonomy_->Conceptualize(entity, context);
+      if (categories.size() > options_.max_categories_per_entity) {
+        categories.resize(options_.max_categories_per_entity);
+      }
+      for (const auto& sc : categories) {
+        if (sc.probability < options_.min_category_prob) continue;
+        auto t = store_->Lookup(
+            MakeTemplateText(tokens, mention.begin, mention.end,
+                             taxonomy_->CategoryName(sc.category)));
+        if (!t) continue;
+        for (const PredicateProb& pp : store_->Distribution(*t)) {
+          if (pp.probability < options_.min_predicate_prob) continue;
+          if (!rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(pp.path))
+                   .empty()) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kbqa::core

@@ -1,0 +1,100 @@
+#ifndef KBQA_CORE_ONLINE_H_
+#define KBQA_CORE_ONLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/template_store.h"
+#include "nlp/ner.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+#include "taxonomy/taxonomy.h"
+
+namespace kbqa::core {
+
+/// One scored value in the online posterior.
+struct AnswerCandidate {
+  rdf::TermId value = rdf::kInvalidTerm;
+  double score = 0;
+  /// Strongest (template, predicate) support for this value.
+  TemplateId best_template = kInvalidTemplate;
+  rdf::PathId best_path = rdf::kInvalidPath;
+};
+
+/// The outcome of answering one question.
+struct AnswerResult {
+  /// True when a predicate was found — the paper's #pro counts these.
+  bool answered = false;
+  /// Surface string of the winning value.
+  std::string value;
+  double score = 0;
+  /// Human-readable winning predicate path (e.g. "marriage -> person ->
+  /// name").
+  std::string predicate;
+  /// The structured query the question was mapped to (the paper's core
+  /// framing: natural language -> structured query over the KB). Empty
+  /// when unanswered. Executable via rdf::ParseQuery + rdf::ExecuteQuery.
+  std::string sparql;
+  /// Full ranked posterior (for P@1-style metrics and debugging).
+  std::vector<AnswerCandidate> ranked;
+  /// The complete answer set of the winning (entity, predicate) pair —
+  /// multi-valued facts ("who is in coldplay?") return every member here
+  /// while `value` carries the posterior argmax.
+  std::vector<std::string> values;
+
+  // Per-stage candidate counts (Table 6: the uncertainty at each random
+  // variable of the probabilistic pipeline).
+  size_t num_entities = 0;      // P(e|q) support
+  size_t num_templates = 0;     // P(t|e,q) support, summed over entities
+  size_t num_predicates = 0;    // P(p|t) support, summed over templates
+  size_t num_values = 0;        // P(v|e,p) support, summed over predicates
+  /// Predicates (among num_predicates) that produced at least one value on
+  /// the entity — the denominator for the Table 6 "values per
+  /// entity-predicate pair" average.
+  size_t num_grounded_predicates = 0;
+};
+
+/// The online procedure (§3.3): computes
+///   P(v|q) = Σ_{e,t,p} P(e|q) P(t|e,q) P(p|t) P(v|e,p)
+/// and returns argmax_v. Complexity O(|P|) — entity/category/value
+/// fan-outs are bounded constants; only the predicate enumeration scales.
+class OnlineInference {
+ public:
+  struct Options {
+    size_t max_categories_per_entity = 3;
+    double min_category_prob = 0.02;
+    /// Predicates with P(p|t) below this are skipped (noise floor).
+    double min_predicate_prob = 1e-3;
+    /// Minimum posterior score to consider the question answered.
+    double min_answer_score = 1e-6;
+  };
+
+  /// All references must outlive the inference engine.
+  OnlineInference(const rdf::KnowledgeBase* kb,
+                  const taxonomy::Taxonomy* taxonomy,
+                  const nlp::GazetteerNer* ner, const TemplateStore* store,
+                  const rdf::PathDictionary* paths, const Options& options);
+
+  /// Answers a binary factoid question.
+  AnswerResult Answer(const std::string& question) const;
+
+  /// Token-level variant (reused by the decomposer on question spans).
+  AnswerResult AnswerTokens(const std::vector<std::string>& tokens) const;
+
+  /// Cheap answerability probe: true when some entity+template resolves to
+  /// a learned predicate with at least one value — the δ(q) primitive-BFQ
+  /// indicator of the decomposition DP (§5.3).
+  bool IsPrimitiveBfq(const std::vector<std::string>& tokens) const;
+
+ private:
+  const rdf::KnowledgeBase* kb_;
+  const taxonomy::Taxonomy* taxonomy_;
+  const nlp::GazetteerNer* ner_;
+  const TemplateStore* store_;
+  const rdf::PathDictionary* paths_;
+  Options options_;
+};
+
+}  // namespace kbqa::core
+
+#endif  // KBQA_CORE_ONLINE_H_

@@ -1,0 +1,52 @@
+#ifndef KBQA_CORE_QA_INTERFACE_H_
+#define KBQA_CORE_QA_INTERFACE_H_
+
+#include <string>
+
+#include "core/online.h"
+
+namespace kbqa::core {
+
+/// Uniform question-answering interface implemented by KBQA and every
+/// baseline, so the evaluation runners and the hybrid combinator can treat
+/// them interchangeably.
+class QaSystemInterface {
+ public:
+  virtual ~QaSystemInterface() = default;
+
+  /// Display name for report tables.
+  virtual std::string name() const = 0;
+
+  /// Answers a question; `answered == false` means the system declined
+  /// (returned null), which the paper's metrics distinguish from a wrong
+  /// answer via #pro.
+  virtual AnswerResult Answer(const std::string& question) const = 0;
+};
+
+/// The hybrid composition of §7.3.1 (Table 11): feed the question to the
+/// primary system (KBQA); when it declines — which for KBQA means "very
+/// likely a non-BFQ" — fall back to the baseline.
+class HybridSystem : public QaSystemInterface {
+ public:
+  HybridSystem(const QaSystemInterface* primary,
+               const QaSystemInterface* fallback)
+      : primary_(primary), fallback_(fallback) {}
+
+  std::string name() const override {
+    return primary_->name() + "+" + fallback_->name();
+  }
+
+  AnswerResult Answer(const std::string& question) const override {
+    AnswerResult result = primary_->Answer(question);
+    if (result.answered) return result;
+    return fallback_->Answer(question);
+  }
+
+ private:
+  const QaSystemInterface* primary_;
+  const QaSystemInterface* fallback_;
+};
+
+}  // namespace kbqa::core
+
+#endif  // KBQA_CORE_QA_INTERFACE_H_

@@ -1,0 +1,32 @@
+#ifndef KBQA_CORPUS_CORPUS_IO_H_
+#define KBQA_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "corpus/qa_corpus.h"
+#include "util/status.h"
+
+namespace kbqa::corpus {
+
+/// TSV interchange for QA corpora, so real community-QA dumps can be fed to
+/// the trainer and generated corpora can be inspected / diffed.
+///
+/// Format: one pair per line, `question<TAB>answer`. Tabs/newlines inside
+/// fields are escaped as \t and \n; '#'-prefixed lines and blank lines are
+/// skipped. Gold annotations are generator-internal and are NOT serialized
+/// (a real corpus has none).
+
+/// Writes `corpus` (questions and answers only) as TSV.
+Status ExportQaTsv(const QaCorpus& corpus, const std::string& path);
+
+/// Reads a TSV QA corpus. All gold annotations default to "unknown"
+/// (is_bfq = false, no value) — exactly the information a real crawl has.
+Result<QaCorpus> ImportQaTsv(const std::string& path);
+
+/// Field escaping helpers (exposed for tests).
+std::string EscapeTsvField(const std::string& field);
+std::string UnescapeTsvField(const std::string& field);
+
+}  // namespace kbqa::corpus
+
+#endif  // KBQA_CORPUS_CORPUS_IO_H_

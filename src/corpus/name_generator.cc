@@ -1,0 +1,94 @@
+#include "corpus/name_generator.h"
+
+#include <array>
+
+namespace kbqa::corpus {
+
+namespace {
+
+constexpr std::array<const char*, 24> kOnsets = {
+    "b",  "d",  "f",  "g",  "h",  "k",  "l",  "m",  "n",  "p",  "r",  "s",
+    "t",  "v",  "z",  "br", "dr", "gr", "kr", "tr", "st", "sh", "th", "ch"};
+constexpr std::array<const char*, 8> kVowels = {"a", "e", "i", "o",
+                                                "u", "ae", "ia", "or"};
+constexpr std::array<const char*, 12> kCodas = {"", "",  "n", "l",  "r", "s",
+                                                "m", "th", "x", "nd", "st", "k"};
+
+constexpr std::array<const char*, 10> kPlaceSuffixes = {
+    "ton", "ville", "burg", "stead", "ford", "port", "field", "haven",
+    "dale", "mouth"};
+constexpr std::array<const char*, 8> kCountrySuffixes = {
+    "ia", "land", "stan", "ovia", "onia", "aria", "istan", "or"};
+constexpr std::array<const char*, 8> kCompanySuffixes = {
+    " corp", " inc", " systems", " labs", " group", " industries",
+    " dynamics", " technologies"};
+constexpr std::array<const char*, 12> kTitleNouns = {
+    "harbor", "garden", "mirror", "winter", "river",  "mountain",
+    "crown",  "sparrow", "ember", "lantern", "meadow", "voyage"};
+constexpr std::array<const char*, 12> kTitleAdjectives = {
+    "silent", "crimson", "golden",  "hidden", "broken", "distant",
+    "velvet", "frozen",  "burning", "quiet",  "lost",   "amber"};
+constexpr std::array<const char*, 6> kInstituteWords = {
+    "institute", "academy", "college", "polytechnic", "school", "conservatory"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const std::array<const char*, N>& table) {
+  return table[rng.Uniform(N)];
+}
+
+}  // namespace
+
+std::string NameGenerator::Syllables(Rng& rng, int min_syllables,
+                                     int max_syllables) {
+  int n = static_cast<int>(rng.UniformInt(min_syllables, max_syllables));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += Pick(rng, kOnsets);
+    out += Pick(rng, kVowels);
+    if (i + 1 == n) out += Pick(rng, kCodas);
+  }
+  return out;
+}
+
+std::string NameGenerator::Generate(Rng& rng, NameStyle style) {
+  switch (style) {
+    case NameStyle::kPerson:
+      return Syllables(rng, 2, 3) + " " + Syllables(rng, 2, 3);
+    case NameStyle::kPlace: {
+      std::string base = Syllables(rng, 1, 2) + Pick(rng, kPlaceSuffixes);
+      if (rng.Bernoulli(0.15)) return "port " + base;
+      if (rng.Bernoulli(0.1)) return "new " + base;
+      return base;
+    }
+    case NameStyle::kCountry:
+      return Syllables(rng, 2, 3) + Pick(rng, kCountrySuffixes);
+    case NameStyle::kCompany:
+      return Syllables(rng, 2, 3) + Pick(rng, kCompanySuffixes);
+    case NameStyle::kTitle:
+      // Half the titles use a generated modifier so the title space stays
+      // large enough for thousands of books/films without accidental
+      // wholesale collisions.
+      if (rng.Bernoulli(0.5)) {
+        return std::string("the ") + Syllables(rng, 2, 3) + " " +
+               Pick(rng, kTitleNouns);
+      }
+      return std::string("the ") + Pick(rng, kTitleAdjectives) + " " +
+             Pick(rng, kTitleNouns);
+    case NameStyle::kBand:
+      if (rng.Bernoulli(0.5)) {
+        return std::string("the ") + Syllables(rng, 2, 3) + " " +
+               Pick(rng, kTitleNouns) + "s";
+      }
+      return std::string("the ") + Pick(rng, kTitleAdjectives) + " " +
+             Pick(rng, kTitleNouns) + "s";
+    case NameStyle::kRiver:
+      return Syllables(rng, 2, 2) + " river";
+    case NameStyle::kUniversity:
+      return Syllables(rng, 2, 2) + " " + Pick(rng, kInstituteWords);
+    case NameStyle::kWord:
+      return Syllables(rng, 2, 3);
+  }
+  return Syllables(rng, 2, 3);
+}
+
+}  // namespace kbqa::corpus

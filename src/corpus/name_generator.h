@@ -1,0 +1,39 @@
+#ifndef KBQA_CORPUS_NAME_GENERATOR_H_
+#define KBQA_CORPUS_NAME_GENERATOR_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace kbqa::corpus {
+
+/// Surface-form style for generated entity names.
+enum class NameStyle {
+  kPerson,      // "marlen dovaro"
+  kPlace,       // "kelstead", "port varnum"
+  kCountry,     // "valdoria"
+  kCompany,     // "zentrix corp"
+  kTitle,       // "the silent harbor" (books, films, songs)
+  kBand,        // "the velvet sparrows"
+  kRiver,       // "torvel river"
+  kUniversity,  // "university of kelstead" handled by caller; here "northfield institute"
+  kWord,        // plain common word ("pomel") — fruits etc.
+};
+
+/// Deterministic syllable-based name generator. Identical (rng state, style)
+/// inputs produce identical names, so worlds are reproducible. Collisions
+/// are possible by design — shared surface names are exactly the ambiguity
+/// the probabilistic model must handle — but the generator keeps them rare
+/// enough that most questions have a unique entity.
+class NameGenerator {
+ public:
+  /// Draws a fresh name of the requested style using `rng`.
+  static std::string Generate(Rng& rng, NameStyle style);
+
+ private:
+  static std::string Syllables(Rng& rng, int min_syllables, int max_syllables);
+};
+
+}  // namespace kbqa::corpus
+
+#endif  // KBQA_CORPUS_NAME_GENERATOR_H_

@@ -1,0 +1,59 @@
+#ifndef KBQA_CORPUS_QA_CORPUS_H_
+#define KBQA_CORPUS_QA_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace kbqa::corpus {
+
+/// One community-QA pair — the unit the paper crawls from Yahoo! Answers
+/// (41M pairs; "best answer" only). The answer is a full natural-language
+/// sentence that *contains* the factual value among noise tokens.
+struct QaPair {
+  std::string question;
+  std::string answer;
+};
+
+/// Hidden gold annotations carried alongside generated QA pairs. The
+/// learner never sees these; evaluation and the precision benches do.
+struct QaGold {
+  /// True when the question is a binary factoid question the KB can answer.
+  bool is_bfq = false;
+  /// Index of the generating intent in the schema; -1 for non-BFQs.
+  int intent = -1;
+  /// Gold entity/value nodes, when is_bfq.
+  rdf::TermId entity = rdf::kInvalidTerm;
+  rdf::TermId value = rdf::kInvalidTerm;
+  /// Surface form of the gold value (normalized lowercase tokens).
+  std::string value_string;
+  /// Other fully-correct values of the same fact (multi-valued intents:
+  /// any band member answers "who is in X"). Judged as right.
+  std::vector<std::string> correct_alternates;
+  /// Acceptable "partially right" alternates (e.g. country when a city was
+  /// asked) — drive the #par column of the QALD tables.
+  std::vector<std::string> partial_values;
+  /// False when the generated answer sentence does not actually contain the
+  /// value (chit-chat / wrong-value noise).
+  bool answer_contains_value = false;
+  /// Index of the paraphrase pattern used; -1 for non-BFQs.
+  int paraphrase = -1;
+  /// True when the paraphrase was held out of the training bank.
+  bool unseen_paraphrase = false;
+  /// Question kind for reporting: "bfq", "chitchat", "superlative",
+  /// "comparison", "listing", "opinion".
+  std::string kind;
+};
+
+/// A QA corpus: pairs plus (parallel) gold annotations.
+struct QaCorpus {
+  std::vector<QaPair> pairs;
+  std::vector<QaGold> gold;
+
+  size_t size() const { return pairs.size(); }
+};
+
+}  // namespace kbqa::corpus
+
+#endif  // KBQA_CORPUS_QA_CORPUS_H_

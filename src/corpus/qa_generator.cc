@@ -1,0 +1,434 @@
+#include "corpus/qa_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kbqa::corpus {
+
+namespace {
+
+using rdf::TermId;
+
+constexpr const char* kAnswerFrames[] = {
+    "it 's $v .",          "i think it is $v .",
+    "$v .",                "the answer is $v .",
+    "$v as far as i know .", "pretty sure it is $v .",
+    "it is $v .",          "if i remember correctly it is $v .",
+};
+
+constexpr const char* kDistractorFrames[] = {
+    " btw the $k is $v .",
+    " also its $k is $v .",
+    " and in case you wonder the $k is $v .",
+};
+
+constexpr const char* kChitchatQuestions[] = {
+    "why is $e so popular",  "what do you think about $e",
+    "how do i get to $e",    "is $e worth visiting",
+    "do you like $e",        "why do people love $e",
+};
+
+constexpr const char* kChitchatAnswers[] = {
+    "i have no idea to be honest .", "you should check online .",
+    "i love it there .",             "hard to say really .",
+    "that is a matter of taste .",
+};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&table)[N]) {
+  return table[rng.Uniform(N)];
+}
+
+/// Shared sampling state for corpus + benchmark generation.
+struct Samplers {
+  DiscreteSampler intents;
+  std::vector<ZipfSampler> entity_by_type;
+
+  Samplers(const World& world, double zipf_exponent)
+      : intents(IntentWeights(world)) {
+    for (const auto& pool : world.entities_by_type) {
+      entity_by_type.emplace_back(std::max<size_t>(1, pool.size()),
+                                  zipf_exponent);
+    }
+  }
+
+  static std::vector<double> IntentWeights(const World& world) {
+    std::vector<double> weights;
+    for (const auto& intent : world.schema.intents()) {
+      weights.push_back(intent.popularity);
+    }
+    return weights;
+  }
+};
+
+/// One sampled askable fact.
+struct SampledFact {
+  int intent = -1;
+  TermId subject = rdf::kInvalidTerm;
+  TermId value = rdf::kInvalidTerm;
+};
+
+/// Samples (intent, subject) until a recorded fact exists; at most
+/// `attempts` tries (KB incompleteness makes misses routine).
+bool SampleFact(const World& world, Samplers& samplers, Rng& rng,
+                bool zipf_entities, SampledFact* out, int attempts = 30) {
+  for (int i = 0; i < attempts; ++i) {
+    int intent_idx = static_cast<int>(samplers.intents.Sample(rng));
+    const IntentSpec& intent = world.schema.intents()[intent_idx];
+    const auto& pool = world.entities_by_type[intent.entity_type];
+    if (pool.empty()) continue;
+    size_t pick = zipf_entities
+                      ? samplers.entity_by_type[intent.entity_type].Sample(rng)
+                      : rng.Uniform(pool.size());
+    if (pick >= pool.size()) pick = pool.size() - 1;
+    TermId subject = pool[pick];
+    const auto* values = world.FactValues(intent_idx, subject);
+    if (values == nullptr || values->empty()) continue;
+    out->intent = intent_idx;
+    out->subject = subject;
+    out->value = (*values)[rng.Uniform(values->size())];
+    return true;
+  }
+  return false;
+}
+
+/// Picks a paraphrase index: training bank (weighted) or held-out bank.
+int PickParaphrase(const IntentSpec& intent, Rng& rng, bool heldout) {
+  std::vector<int> candidates;
+  std::vector<double> weights;
+  for (int i = 0; i < static_cast<int>(intent.paraphrases.size()); ++i) {
+    if (intent.paraphrases[i].train != heldout) {
+      candidates.push_back(i);
+      weights.push_back(intent.paraphrases[i].weight);
+    }
+  }
+  if (candidates.empty()) {
+    // No held-out phrasing for this intent — fall back to the other bank.
+    return PickParaphrase(intent, rng, !heldout);
+  }
+  return candidates[rng.WeightedIndex(weights)];
+}
+
+std::string RenderQuestion(const World& world, const IntentSpec& intent,
+                           int paraphrase, TermId subject) {
+  return ReplaceAll(intent.paraphrases[paraphrase].pattern, "$e",
+                    world.kb.EntityName(subject));
+}
+
+/// A wrong-but-plausible value: the same intent's value on another subject.
+std::string CorruptValue(const World& world, Rng& rng, int intent_idx,
+                         TermId subject, const std::string& true_value) {
+  const IntentSpec& intent = world.schema.intents()[intent_idx];
+  const auto& pool = world.entities_by_type[intent.entity_type];
+  for (int i = 0; i < 10; ++i) {
+    TermId other = pool[rng.Uniform(pool.size())];
+    if (other == subject) continue;
+    const auto* values = world.FactValues(intent_idx, other);
+    if (values == nullptr || values->empty()) continue;
+    std::string v = world.ValueSurface((*values)[0]);
+    if (v != true_value) return v;
+  }
+  return true_value;  // Could not find a distinct value; give up on noise.
+}
+
+/// Adds the city's country name as a "partially right" alternate for
+/// city-valued intents (a country is partially right when a city is asked —
+/// the paper's "place of birth" example).
+void AddPartialValues(const World& world, int intent_idx, TermId target,
+                      QaGold* gold) {
+  const IntentSpec& intent = world.schema.intents()[intent_idx];
+  if (intent.name != "person.pob" && intent.name != "company.headquarters" &&
+      intent.name != "university.city") {
+    return;
+  }
+  int country_intent = world.schema.IntentIndex("city.country");
+  if (country_intent < 0) return;
+  const auto* countries = world.FactValues(country_intent, target);
+  if (countries != nullptr) {
+    for (TermId c : *countries) {
+      gold->partial_values.push_back(world.kb.EntityName(c));
+    }
+  }
+}
+
+long long ParseValue(const std::string& s) {
+  return ParseNonNegativeInt(s);
+}
+
+}  // namespace
+
+QaCorpus GenerateTrainingCorpus(const World& world,
+                                const QaGenConfig& config) {
+  QaCorpus corpus;
+  corpus.pairs.reserve(config.num_pairs);
+  corpus.gold.reserve(config.num_pairs);
+  Rng rng(config.seed);
+  Samplers samplers(world, config.zipf_exponent);
+
+  while (corpus.pairs.size() < config.num_pairs) {
+    if (rng.Bernoulli(config.chitchat_rate)) {
+      // Non-factoid chatter about a random entity.
+      size_t type = rng.Uniform(world.entities_by_type.size());
+      const auto& pool = world.entities_by_type[type];
+      if (pool.empty()) continue;
+      TermId e = pool[rng.Uniform(pool.size())];
+      QaPair pair;
+      pair.question = ReplaceAll(Pick(rng, kChitchatQuestions), "$e",
+                                 world.kb.EntityName(e));
+      pair.answer = Pick(rng, kChitchatAnswers);
+      QaGold gold;
+      gold.is_bfq = false;
+      gold.kind = "chitchat";
+      corpus.pairs.push_back(std::move(pair));
+      corpus.gold.push_back(std::move(gold));
+      continue;
+    }
+
+    SampledFact fact;
+    if (!SampleFact(world, samplers, rng, /*zipf_entities=*/true, &fact)) {
+      continue;
+    }
+    const IntentSpec& intent = world.schema.intents()[fact.intent];
+    int paraphrase = PickParaphrase(intent, rng, /*heldout=*/false);
+
+    QaPair pair;
+    pair.question = RenderQuestion(world, intent, paraphrase, fact.subject);
+
+    QaGold gold;
+    gold.is_bfq = true;
+    gold.kind = "bfq";
+    gold.intent = fact.intent;
+    gold.entity = fact.subject;
+    gold.value = fact.value;
+    gold.value_string = world.ValueSurface(fact.value);
+    gold.paraphrase = paraphrase;
+
+    std::string rendered_value = gold.value_string;
+    gold.answer_contains_value = true;
+    if (rng.Bernoulli(config.wrong_value_rate)) {
+      std::string corrupted =
+          CorruptValue(world, rng, fact.intent, fact.subject, rendered_value);
+      if (corrupted != rendered_value) {
+        rendered_value = corrupted;
+        gold.answer_contains_value = false;
+      }
+    }
+    pair.answer = ReplaceAll(Pick(rng, kAnswerFrames), "$v", rendered_value);
+
+    if (rng.Bernoulli(config.distractor_rate)) {
+      // Mention a second fact of the same entity in the answer.
+      auto other_intents = world.schema.IntentsOfType(intent.entity_type);
+      for (int tries = 0; tries < 5; ++tries) {
+        int oi = other_intents[rng.Uniform(other_intents.size())];
+        if (oi == fact.intent) continue;
+        const auto* values = world.FactValues(oi, fact.subject);
+        if (values == nullptr || values->empty()) continue;
+        const IntentSpec& other = world.schema.intents()[oi];
+        std::string frame = Pick(rng, kDistractorFrames);
+        frame = ReplaceAll(frame, "$k", other.keyword);
+        frame = ReplaceAll(frame, "$v", world.ValueSurface((*values)[0]));
+        pair.answer += frame;
+        break;
+      }
+    }
+
+    corpus.pairs.push_back(std::move(pair));
+    corpus.gold.push_back(std::move(gold));
+  }
+  return corpus;
+}
+
+namespace {
+
+/// Generates one non-BFQ benchmark question. Returns false on sampling
+/// failure (caller retries).
+bool GenerateNonBfq(const World& world, Samplers& samplers, Rng& rng,
+                    QaPair* pair, QaGold* gold) {
+  gold->is_bfq = false;
+  // Numeric attribute intents drive superlatives/comparisons.
+  std::vector<int> numeric_intents;
+  for (int i = 0; i < static_cast<int>(world.schema.intents().size()); ++i) {
+    const IntentSpec& intent = world.schema.intents()[i];
+    if (!intent.is_relation() && intent.value_kind != ValueKind::kWord) {
+      numeric_intents.push_back(i);
+    }
+  }
+  if (numeric_intents.empty()) return false;
+
+  // Kind mix: most real non-BFQs are open-ended (listing, opinion, why);
+  // superlatives/comparisons are a minority (they are the ones a keyword
+  // scanner can still answer, so their share directly tunes the hybrid
+  // uplift in Table 11).
+  double kind_draw = rng.UniformDouble();
+  int kind = kind_draw < 0.15 ? 0 : kind_draw < 0.25 ? 1 : kind_draw < 0.6 ? 2 : 3;
+  switch (kind) {
+    case 0: {  // Superlative: "which city has the largest population".
+      int intent_idx = numeric_intents[rng.Uniform(numeric_intents.size())];
+      const IntentSpec& intent = world.schema.intents()[intent_idx];
+      const auto& type = world.schema.types()[intent.entity_type];
+      bool largest = rng.Bernoulli(0.5);
+      long long best = -1;
+      TermId best_e = rdf::kInvalidTerm;
+      for (TermId e : world.entities_by_type[intent.entity_type]) {
+        const auto* values = world.FactValues(intent_idx, e);
+        if (values == nullptr || values->empty()) continue;
+        long long v = ParseValue(world.ValueSurface((*values)[0]));
+        if (v < 0) continue;
+        if (best_e == rdf::kInvalidTerm || (largest ? v > best : v < best)) {
+          best = v;
+          best_e = e;
+        }
+      }
+      if (best_e == rdf::kInvalidTerm) return false;
+      pair->question = "which " + type.name + " has the " +
+                       (largest ? std::string("largest ") : "smallest ") +
+                       intent.keyword;
+      gold->kind = "superlative";
+      gold->intent = intent_idx;
+      gold->value_string = world.kb.EntityName(best_e);
+      return true;
+    }
+    case 1: {  // Comparison: "which has more population , x or y".
+      int intent_idx = numeric_intents[rng.Uniform(numeric_intents.size())];
+      const IntentSpec& intent = world.schema.intents()[intent_idx];
+      const auto& pool = world.entities_by_type[intent.entity_type];
+      if (pool.size() < 2) return false;
+      for (int tries = 0; tries < 20; ++tries) {
+        TermId a = pool[rng.Uniform(pool.size())];
+        TermId b = pool[rng.Uniform(pool.size())];
+        if (a == b) continue;
+        const auto* va = world.FactValues(intent_idx, a);
+        const auto* vb = world.FactValues(intent_idx, b);
+        if (va == nullptr || vb == nullptr || va->empty() || vb->empty()) {
+          continue;
+        }
+        long long xa = ParseValue(world.ValueSurface((*va)[0]));
+        long long xb = ParseValue(world.ValueSurface((*vb)[0]));
+        if (xa < 0 || xb < 0 || xa == xb) continue;
+        pair->question = "which has more " + intent.keyword + " , " +
+                         world.kb.EntityName(a) + " or " +
+                         world.kb.EntityName(b);
+        gold->kind = "comparison";
+        gold->intent = intent_idx;
+        gold->value_string = world.kb.EntityName(xa > xb ? a : b);
+        return true;
+      }
+      return false;
+    }
+    case 2: {  // Listing: no single gold value.
+      int intent_idx = numeric_intents[rng.Uniform(numeric_intents.size())];
+      const IntentSpec& intent = world.schema.intents()[intent_idx];
+      const auto& type = world.schema.types()[intent.entity_type];
+      pair->question =
+          "list all " + type.name + "s ordered by " + intent.keyword;
+      gold->kind = "listing";
+      return true;
+    }
+    default: {  // Opinion / description.
+      SampledFact fact;
+      if (!SampleFact(world, samplers, rng, false, &fact)) return false;
+      pair->question = ReplaceAll(Pick(rng, kChitchatQuestions), "$e",
+                                  world.kb.EntityName(fact.subject));
+      gold->kind = "opinion";
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+BenchmarkSet GenerateBenchmark(const World& world,
+                               const BenchmarkConfig& config) {
+  BenchmarkSet set;
+  set.name = config.name;
+  Rng rng(config.seed);
+  Samplers samplers(world, /*zipf_exponent=*/0.4);
+
+  while (set.questions.size() < config.num_questions) {
+    QaPair pair;
+    QaGold gold;
+    if (rng.Bernoulli(config.bfq_ratio)) {
+      SampledFact fact;
+      if (!SampleFact(world, samplers, rng, /*zipf_entities=*/false, &fact)) {
+        continue;
+      }
+      const IntentSpec& intent = world.schema.intents()[fact.intent];
+      bool heldout = rng.Bernoulli(config.unseen_paraphrase_rate);
+      int paraphrase = PickParaphrase(intent, rng, heldout);
+      pair.question = RenderQuestion(world, intent, paraphrase, fact.subject);
+      gold.is_bfq = true;
+      gold.kind = "bfq";
+      gold.intent = fact.intent;
+      gold.entity = fact.subject;
+      gold.value = fact.value;
+      gold.value_string = world.ValueSurface(fact.value);
+      gold.paraphrase = paraphrase;
+      gold.unseen_paraphrase = !intent.paraphrases[paraphrase].train;
+      // Multi-valued facts: every sibling value is an equally right answer.
+      if (const auto* values = world.FactValues(fact.intent, fact.subject)) {
+        for (rdf::TermId v : *values) {
+          if (v != fact.value) {
+            gold.correct_alternates.push_back(world.ValueSurface(v));
+          }
+        }
+      }
+      if (intent.is_relation()) {
+        AddPartialValues(world, fact.intent, fact.value, &gold);
+      }
+      ++set.num_bfq;
+    } else {
+      if (!GenerateNonBfq(world, samplers, rng, &pair, &gold)) continue;
+    }
+    set.questions.pairs.push_back(std::move(pair));
+    set.questions.gold.push_back(std::move(gold));
+  }
+  return set;
+}
+
+std::vector<std::string> GenerateWebDocs(const World& world,
+                                         size_t num_sentences, uint64_t seed) {
+  static constexpr const char* kStatementFrames[] = {
+      "the $k of $e is $v",
+      "$e 's $k is $v",
+      "$v is the $k of $e",
+      "the $k of $e was $v",
+      "everyone knows the $k of $e is $v",
+  };
+  static constexpr const char* kNoiseFrames[] = {
+      "$e is quite famous these days",
+      "people keep talking about $e",
+      "$e made the headlines again",
+  };
+  std::vector<std::string> docs;
+  docs.reserve(num_sentences);
+  Rng rng(seed);
+  Samplers samplers(world, 0.8);
+  while (docs.size() < num_sentences) {
+    if (rng.Bernoulli(0.2)) {
+      size_t type = rng.Uniform(world.entities_by_type.size());
+      const auto& pool = world.entities_by_type[type];
+      if (pool.empty()) continue;
+      TermId e = pool[rng.Uniform(pool.size())];
+      docs.push_back(ReplaceAll(Pick(rng, kNoiseFrames), "$e",
+                                world.kb.EntityName(e)));
+      continue;
+    }
+    SampledFact fact;
+    if (!SampleFact(world, samplers, rng, /*zipf_entities=*/true, &fact)) {
+      continue;
+    }
+    const IntentSpec& intent = world.schema.intents()[fact.intent];
+    std::string s = Pick(rng, kStatementFrames);
+    s = ReplaceAll(s, "$k", intent.keyword);
+    s = ReplaceAll(s, "$e", world.kb.EntityName(fact.subject));
+    s = ReplaceAll(s, "$v", world.ValueSurface(fact.value));
+    docs.push_back(std::move(s));
+  }
+  return docs;
+}
+
+}  // namespace kbqa::corpus

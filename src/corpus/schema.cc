@@ -1,0 +1,641 @@
+#include "corpus/schema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbqa::corpus {
+
+namespace {
+
+using nlp::QuestionClass;
+
+// Shorthand paraphrase constructors. `P` is a training pattern, `Pw` a
+// weighted one (weights < 1 model rare/ambiguous phrasings), `H` a held-out
+// test-only pattern.
+Paraphrase P(std::string pattern) { return {std::move(pattern), 1.0, true}; }
+Paraphrase Pw(std::string pattern, double weight) {
+  return {std::move(pattern), weight, true};
+}
+Paraphrase H(std::string pattern) { return {std::move(pattern), 1.0, false}; }
+
+struct IntentBuilder {
+  IntentSpec spec;
+
+  IntentBuilder(std::string name, int entity_type) {
+    spec.name = std::move(name);
+    spec.entity_type = entity_type;
+  }
+  IntentBuilder& Attribute(std::vector<std::string> path, ValueKind kind,
+                           long long lo, long long hi,
+                           QuestionClass answer_class) {
+    spec.path = std::move(path);
+    spec.value_kind = kind;
+    spec.min_value = lo;
+    spec.max_value = hi;
+    spec.answer_class = answer_class;
+    return *this;
+  }
+  IntentBuilder& Words(std::string pred, std::vector<std::string> words,
+                       QuestionClass answer_class) {
+    spec.path = {std::move(pred)};
+    spec.value_kind = ValueKind::kWord;
+    spec.word_values = std::move(words);
+    spec.answer_class = answer_class;
+    return *this;
+  }
+  IntentBuilder& Relation(std::vector<std::string> path, int target_type,
+                          QuestionClass answer_class,
+                          std::string subcategory = "") {
+    spec.path = std::move(path);
+    spec.target_type = target_type;
+    spec.answer_class = answer_class;
+    spec.target_subcategory = std::move(subcategory);
+    return *this;
+  }
+  IntentBuilder& Fanout(int lo, int hi) {
+    spec.min_fanout = lo;
+    spec.max_fanout = hi;
+    return *this;
+  }
+  IntentBuilder& Popularity(double p) {
+    spec.popularity = p;
+    return *this;
+  }
+  IntentBuilder& NoInfobox() {
+    spec.in_infobox = false;
+    return *this;
+  }
+  IntentBuilder& Phrases(std::vector<Paraphrase> paraphrases) {
+    spec.paraphrases = std::move(paraphrases);
+    return *this;
+  }
+  IntentBuilder& Keyword(std::string keyword) {
+    spec.keyword = std::move(keyword);
+    return *this;
+  }
+  IntentSpec Build() {
+    assert(!spec.path.empty());
+    assert(!spec.paraphrases.empty());
+    if (spec.keyword.empty()) {
+      // Default: last non-"name" predicate, underscores spelled as spaces.
+      for (auto it = spec.path.rbegin(); it != spec.path.rend(); ++it) {
+        if (*it != "name") {
+          spec.keyword = *it;
+          for (char& c : spec.keyword) {
+            if (c == '_') c = ' ';
+          }
+          break;
+        }
+      }
+    }
+    return std::move(spec);
+  }
+};
+
+// Word pools for synthesized generic intents. Kept disjoint from the
+// hand-authored head words so generic intents don't collide with them.
+constexpr const char* kGenericAttributeWords[] = {
+    "velocity", "capacity", "rating",  "ranking", "altitude", "density",
+    "score",    "output",   "intake",  "volume",  "tariff",   "quota",
+    "yield",    "margin",   "surplus", "grade",   "tier",     "span",
+    "budget",   "backlog",  "uptime",  "latency", "turnover", "valuation"};
+constexpr const char* kGenericRoleWords[] = {
+    "patron",     "sponsor", "advisor",  "ambassador", "delegate",
+    "liaison",    "curator", "trustee",  "registrar",  "steward",
+    "chancellor", "warden",  "emissary", "treasurer",  "archivist"};
+
+void AddGenericIntents(Schema& schema, const SchemaConfig& config) {
+  auto& intents = schema.mutable_intents();
+  const auto& types = schema.types();
+  int person_type = schema.TypeIndex("person");
+  assert(person_type >= 0);
+
+  constexpr int kNumAttrWords =
+      static_cast<int>(std::size(kGenericAttributeWords));
+  constexpr int kNumRoleWords = static_cast<int>(std::size(kGenericRoleWords));
+
+  for (int t = 0; t < static_cast<int>(types.size()); ++t) {
+    const std::string& type_name = types[t].name;
+    // Literal attributes: "what is the <word> of $e" families. Predicate
+    // names are type-qualified so every type contributes distinct
+    // predicates (the paper's KB has 2658 distinct predicates).
+    for (int a = 0; a < config.generic_attributes_per_type; ++a) {
+      const std::string word = kGenericAttributeWords[a % kNumAttrWords];
+      std::string attr =
+          a < kNumAttrWords ? word : word + " factor";  // keep names unique
+      // Opaque predicate id, Freebase-style: the surface word ("tariff")
+      // does NOT appear in the predicate name, so keyword matching cannot
+      // shortcut these intents — only learned representations (templates,
+      // bootstrapped phrases) reach them, as in the paper's argument.
+      std::string pred = type_name + "_attr_" + std::to_string(a);
+      IntentBuilder b(type_name + "." + word + (a < kNumAttrWords ? "" : "_factor"), t);
+      b.Attribute({pred}, ValueKind::kNumber, 1, 100000,
+                  QuestionClass::kNumeric)
+          .Keyword(attr)
+          .Popularity(0.15)
+          .Phrases({
+              P("what is the " + attr + " of $e"),
+              P("what 's the " + attr + " of $e"),
+              P("what is $e 's " + attr),
+              P("tell me the " + attr + " of $e"),
+              Pw("how much " + attr + " does $e have", 0.5),
+              H("could you tell me the " + attr + " of $e"),
+          });
+      intents.push_back(b.Build());
+    }
+    // Person-valued relations, alternating direct (length-2 path) and
+    // CVT-mediated (length-3 path) shapes.
+    for (int r = 0; r < config.generic_relations_per_type; ++r) {
+      const std::string role = kGenericRoleWords[(t * 7 + r) % kNumRoleWords];
+      bool cvt = (r % 2 == 1);
+      std::string pred = type_name + "_rel_" + std::to_string(r);
+      std::vector<std::string> path =
+          cvt ? std::vector<std::string>{pred + "_post", "person", "name"}
+              : std::vector<std::string>{pred, "name"};
+      IntentBuilder b(type_name + "." + role, t);
+      b.Relation(std::move(path), person_type, QuestionClass::kHuman)
+          .Keyword(role)
+          .Popularity(0.15)
+          .NoInfobox()
+          .Phrases({
+              P("who is the " + role + " of $e"),
+              P("who is $e 's " + role),
+              P("name the " + role + " of $e"),
+              Pw("who serves as " + role + " of $e", 0.5),
+              H("who acts as the " + role + " for $e"),
+          });
+      intents.push_back(b.Build());
+    }
+  }
+}
+
+}  // namespace
+
+int Schema::TypeIndex(std::string_view name) const {
+  for (int i = 0; i < static_cast<int>(types_.size()); ++i) {
+    if (types_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::IntentIndex(std::string_view name) const {
+  for (int i = 0; i < static_cast<int>(intents_.size()); ++i) {
+    if (intents_[i].name == name) return i;
+  }
+  return -1;
+}
+
+std::vector<int> Schema::IntentsOfType(int type) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(intents_.size()); ++i) {
+    if (intents_[i].entity_type == type) out.push_back(i);
+  }
+  return out;
+}
+
+Schema Schema::Standard(const SchemaConfig& config) {
+  Schema schema;
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(n * config.scale));
+  };
+
+  schema.types_ = {
+      {"person", "$person", NameStyle::kPerson, scaled(4000)},
+      {"city", "$city", NameStyle::kPlace, scaled(1200)},
+      {"country", "$country", NameStyle::kCountry, scaled(150)},
+      {"company", "$company", NameStyle::kCompany, scaled(800)},
+      {"book", "$book", NameStyle::kTitle, scaled(800)},
+      {"band", "$band", NameStyle::kBand, scaled(300)},
+      {"film", "$film", NameStyle::kTitle, scaled(800)},
+      {"river", "$river", NameStyle::kRiver, scaled(250)},
+      {"university", "$university", NameStyle::kUniversity, scaled(250)},
+      {"fruit", "$fruit", NameStyle::kWord, scaled(40)},
+  };
+
+  const int kPerson = 0, kCity = 1, kCountry = 2, kCompany = 3, kBook = 4,
+            kBand = 5, kFilm = 6, kRiver = 7, kUniversity = 8, kFruit = 9;
+  using QC = QuestionClass;
+  auto& intents = schema.intents_;
+
+  // ---- person ----
+  intents.push_back(
+      IntentBuilder("person.dob", kPerson)
+          .Attribute({"dob"}, ValueKind::kYear, 1900, 2000, QC::kNumeric)
+          .Popularity(3.0)
+          .Phrases({P("when was $e born"), P("what year was $e born"),
+                    P("what is the birthday of $e"),
+                    P("what is $e 's date of birth"),
+                    P("what is the birth date of $e"),
+                    Pw("the birthday of $e", 0.4),
+                    Pw("when is $e 's birthday", 0.6),
+                    H("in which year was $e born")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.pob", kPerson)
+          .Relation({"pob", "name"}, kCity, QC::kLocation)
+          .Popularity(2.0)
+          .Phrases({P("where was $e born"), P("what is the birthplace of $e"),
+                    P("in which city was $e born"),
+                    Pw("the birthplace of $e", 0.4),
+                    H("what city is $e from")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.spouse", kPerson)
+          .Relation({"marriage", "person", "name"}, kPerson, QC::kHuman)
+          .Keyword("wife")
+          .Popularity(3.0)
+          .Phrases({P("who is the wife of $e"), P("who is the husband of $e"),
+                    P("who is $e married to"), P("who is $e 's wife"),
+                    P("who is $e 's husband"),
+                    P("what is the name of $e 's spouse"),
+                    Pw("$e 's wife", 0.4), Pw("$e 's spouse", 0.3),
+                    H("who did $e marry")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.height", kPerson)
+          .Attribute({"height"}, ValueKind::kNumber, 150, 210, QC::kNumeric)
+          .Phrases({P("how tall is $e"), P("what is the height of $e"),
+                    P("what is $e 's height"), H("what height is $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.instrument", kPerson)
+          .Words("instrument", {"guitar", "piano", "drums", "bass", "violin", "cello",
+                  "trumpet", "saxophone"},
+                 QC::kEntity)
+          .Phrases({P("what instrument does $e play"),
+                    P("which instrument does $e play"),
+                    Pw("what instrument do $e play", 0.2),
+                    Pw("what does $e play", 0.5),
+                    H("what instrument is played by $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.profession", kPerson)
+          .Words("profession", {"politician", "engineer", "teacher", "musician", "writer",
+                  "scientist", "lawyer", "doctor", "painter", "economist"},
+                 QC::kEntity)
+          .Phrases({P("what does $e do for a living"),
+                    P("what is the profession of $e"),
+                    P("what is $e 's job"),
+                    H("what is the occupation of $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("person.works", kPerson)
+          .Relation({"work", "name"}, kBook, QC::kEntity)
+          .Fanout(1, 3)
+          .Phrases({P("what are books written by $e"),
+                    P("what books did $e write"),
+                    P("which books were written by $e"),
+                    Pw("what did $e write", 0.5),
+                    H("name the books of $e")})
+          .Build());
+
+  // ---- city ----
+  intents.push_back(
+      IntentBuilder("city.population", kCity)
+          .Attribute({"population"}, ValueKind::kNumber, 10000, 20000000,
+                     QC::kNumeric)
+          .Popularity(3.0)
+          .Phrases({P("how many people are there in $e"),
+                    P("what is the population of $e"),
+                    P("how many people live in $e"),
+                    P("what is the total number of people in $e"),
+                    P("what is the number of inhabitants of $e"),
+                    Pw("how big is $e", 0.3),
+                    H("how many inhabitants does $e have")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("city.area", kCity)
+          .Attribute({"area"}, ValueKind::kNumber, 50, 5000, QC::kNumeric)
+          .Popularity(2.0)
+          .Phrases({P("what is the area of $e"), P("how large is $e"),
+                    P("what is the size of $e"), Pw("how big is $e", 0.3),
+                    H("how much area does $e cover")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("city.mayor", kCity)
+          .Relation({"mayor", "name"}, kPerson, QC::kHuman, "$politician")
+          .Phrases({P("who is the mayor of $e"), P("who is $e 's mayor"),
+                    Pw("who runs $e", 0.3), H("who governs $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("city.country", kCity)
+          .Relation({"country", "name"}, kCountry, QC::kLocation)
+          .Popularity(2.0)
+          .Phrases({P("in which country is $e"), P("which country is $e in"),
+                    P("what country is $e located in"),
+                    P("in which country is $e located"),
+                    Pw("where is $e", 0.3),
+                    H("what country does $e belong to")})
+          .Build());
+
+  // ---- country ----
+  intents.push_back(
+      IntentBuilder("country.capital", kCountry)
+          .Relation({"capital", "name"}, kCity, QC::kLocation)
+          .Popularity(3.0)
+          .Phrases({P("what is the capital of $e"),
+                    P("which city is the capital of $e"),
+                    P("what is the capital city of $e"),
+                    Pw("the capital of $e", 0.4),
+                    H("name the capital of $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("country.population", kCountry)
+          .Attribute({"population"}, ValueKind::kNumber, 500000, 1400000000,
+                     QC::kNumeric)
+          .Popularity(2.0)
+          .Phrases({P("how many people are there in $e"),
+                    P("what is the population of $e"),
+                    P("how many people live in $e"),
+                    H("how many inhabitants does $e have")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("country.area", kCountry)
+          .Attribute({"area"}, ValueKind::kNumber, 1000, 17000000,
+                     QC::kNumeric)
+          .Phrases({P("what is the area of $e"), P("how large is $e"),
+                    Pw("how big is $e", 0.3),
+                    H("how much area does $e cover")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("country.currency", kCountry)
+          .Words("currency", {"peso", "dinar", "krona", "franc", "rupee", "shilling",
+                  "dollar", "euro", "yen", "pound"},
+                 QC::kEntity)
+          .Phrases({P("what currency is used in $e"),
+                    P("what is the currency of $e"),
+                    P("which currency does $e use"),
+                    H("what money do they use in $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("country.head", kCountry)
+          .Relation({"government", "person", "name"}, kPerson, QC::kHuman,
+                    "$politician")
+          .Keyword("president")
+          .Popularity(2.0)
+          .Phrases({P("who is the president of $e"),
+                    P("who is the leader of $e"), Pw("who leads $e", 0.5),
+                    P("who is the head of state of $e"),
+                    H("who rules $e")})
+          .Build());
+
+  // ---- company ----
+  intents.push_back(
+      IntentBuilder("company.ceo", kCompany)
+          .Relation({"leadership", "person", "name"}, kPerson, QC::kHuman,
+                    "$executive")
+          .Keyword("ceo")
+          .Popularity(2.0)
+          .Phrases({P("who is the ceo of $e"),
+                    P("who is the chief executive of $e"),
+                    P("who is $e 's ceo"), Pw("who runs $e", 0.3),
+                    Pw("the ceo of $e", 0.3),
+                    H("who manages $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.headquarters", kCompany)
+          .Relation({"headquarters", "name"}, kCity, QC::kLocation)
+          .Popularity(2.0)
+          .Phrases({P("where is the headquarter of $e"),
+                    P("where is $e headquartered"),
+                    P("what is the headquarter of $e"),
+                    P("in which city is the headquarter of $e"),
+                    P("where is the headquarters of $e located"),
+                    Pw("the headquarter of $e", 0.3),
+                    H("where is $e based")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.founder", kCompany)
+          .Relation({"founder", "name"}, kPerson, QC::kHuman, "$executive")
+          .Phrases({P("who founded $e"), P("who is the founder of $e"),
+                    Pw("who started $e", 0.6), H("who created $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.founded", kCompany)
+          .Attribute({"founded"}, ValueKind::kYear, 1850, 2015, QC::kNumeric)
+          .Phrases({P("when was $e founded"), P("what year was $e founded"),
+                    P("when was $e established"),
+                    H("in which year was $e created")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.employees", kCompany)
+          .Attribute({"employees"}, ValueKind::kNumber, 10, 500000,
+                     QC::kNumeric)
+          .Phrases({P("how many employees does $e have"),
+                    P("how many people work at $e"),
+                    Pw("how many people are there in $e", 0.2),
+                    H("what is the headcount of $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.revenue", kCompany)
+          .Attribute({"revenue"}, ValueKind::kNumber, 100000, 2000000000,
+                     QC::kNumeric)
+          .Phrases({P("what is the revenue of $e"),
+                    P("how much money does $e make"),
+                    H("what is the annual revenue of $e")})
+          .Build());
+
+  // ---- book ----
+  intents.push_back(
+      IntentBuilder("book.author", kBook)
+          .Relation({"author", "name"}, kPerson, QC::kHuman, "$author")
+          .Popularity(2.0)
+          .Phrases({P("who wrote $e"), P("who is the author of $e"),
+                    P("who is the writer of $e"),
+                    Pw("the author of $e", 0.4),
+                    Pw("author of $e", 0.3),
+                    H("by whom was $e written")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("book.published", kBook)
+          .Attribute({"published"}, ValueKind::kYear, 1900, 2015, QC::kNumeric)
+          .Phrases({P("when was $e published"),
+                    P("what year was $e published"),
+                    Pw("when did $e come out", 0.5),
+                    H("when was $e first printed")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("book.pages", kBook)
+          .Attribute({"pages"}, ValueKind::kNumber, 80, 1500, QC::kNumeric)
+          .Phrases({P("how many pages does $e have"),
+                    Pw("how long is $e", 0.3),
+                    H("what is the page count of $e")})
+          .Build());
+
+  // ---- band ----
+  intents.push_back(
+      IntentBuilder("band.members", kBand)
+          .Relation({"membership", "member", "name"}, kPerson, QC::kHuman,
+                    "$musician")
+          .Fanout(3, 5)
+          .Popularity(2.0)
+          .Phrases({P("who are the members of $e"),
+                    P("what are the members of $e"), P("who is in $e"),
+                    P("who plays in $e"), Pw("members of $e", 0.4),
+                    H("who belongs to $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("band.formed", kBand)
+          .Attribute({"formed"}, ValueKind::kYear, 1950, 2015, QC::kNumeric)
+          .Phrases({P("when was $e formed"), P("when did $e form"),
+                    Pw("when was $e founded", 0.5),
+                    H("what year did $e start")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("band.genre", kBand)
+          .Words("genre", {"rock", "jazz", "pop", "folk", "metal", "blues", "punk",
+                  "soul"},
+                 QC::kEntity)
+          .Phrases({P("what genre is $e"),
+                    P("what kind of music does $e play"),
+                    P("what type of music is $e"),
+                    H("which genre does $e belong to")})
+          .Build());
+
+  // ---- film ----
+  intents.push_back(
+      IntentBuilder("film.director", kFilm)
+          .Relation({"director", "name"}, kPerson, QC::kHuman)
+          .Popularity(2.0)
+          .Phrases({P("who directed $e"), P("who is the director of $e"),
+                    Pw("the director of $e", 0.4),
+                    H("who was $e directed by")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("film.released", kFilm)
+          .Attribute({"released"}, ValueKind::kYear, 1920, 2016, QC::kNumeric)
+          .Phrases({P("when was $e released"),
+                    P("what year did $e come out"),
+                    Pw("when did $e come out", 0.5),
+                    H("when was $e in theaters")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("film.budget", kFilm)
+          .Attribute({"budget"}, ValueKind::kNumber, 100000, 300000000,
+                     QC::kNumeric)
+          .Phrases({P("what was the budget of $e"),
+                    P("how much did $e cost"),
+                    H("how expensive was $e to make")})
+          .Build());
+
+  // ---- river ----
+  intents.push_back(
+      IntentBuilder("river.length", kRiver)
+          .Attribute({"length"}, ValueKind::kNumber, 50, 7000, QC::kNumeric)
+          .Popularity(2.0)
+          .Phrases({P("how long is $e"), P("what is the length of $e"),
+                    P("how many miles long is $e"),
+                    H("what length is $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("river.country", kRiver)
+          .Relation({"country", "name"}, kCountry, QC::kLocation)
+          .Phrases({P("which country does $e flow through"),
+                    P("in which country is $e"), Pw("where is $e", 0.3),
+                    H("through which country does $e run")})
+          .Build());
+
+  // ---- university ----
+  intents.push_back(
+      IntentBuilder("university.established", kUniversity)
+          .Attribute({"established"}, ValueKind::kYear, 1100, 2000,
+                     QC::kNumeric)
+          .Phrases({P("when was $e established"),
+                    Pw("when was $e founded", 0.5),
+                    H("what year was $e established")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("university.students", kUniversity)
+          .Attribute({"students"}, ValueKind::kNumber, 500, 80000,
+                     QC::kNumeric)
+          .Phrases({P("how many students does $e have"),
+                    P("how many students are enrolled at $e"),
+                    Pw("how many people are there in $e", 0.2),
+                    H("what is the enrollment of $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("university.city", kUniversity)
+          .Relation({"city", "name"}, kCity, QC::kLocation)
+          .Phrases({P("in which city is $e"), P("where is $e located"),
+                    Pw("where is $e", 0.3), H("what city is $e in")})
+          .Build());
+
+  // ---- second wave of hand intents (children, casting, language, ...) ----
+  intents.push_back(
+      IntentBuilder("person.children", kPerson)
+          .Relation({"child", "name"}, kPerson, QC::kHuman)
+          .Fanout(1, 3)
+          .Phrases({P("who are the children of $e"),
+                    P("who is the child of $e"),
+                    P("name the children of $e"),
+                    H("who are $e 's kids")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("film.star", kFilm)
+          .Relation({"casting", "actor", "name"}, kPerson, QC::kHuman)
+          .Fanout(2, 4)
+          .Keyword("star")
+          .Phrases({P("who stars in $e"), P("who acted in $e"),
+                    P("who are the actors of $e"),
+                    Pw("who is in $e", 0.3),  // shared with band.members
+                    H("who played in $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("country.language", kCountry)
+          .Words("language", {"spanish", "french", "arabic", "hindi",
+                              "mandarin", "swahili", "english", "russian"},
+                 QC::kEntity)
+          .Phrases({P("what language is spoken in $e"),
+                    P("what language do they speak in $e"),
+                    P("what is the official language of $e"),
+                    H("which language is used in $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("band.origin", kBand)
+          .Relation({"origin", "name"}, kCity, QC::kLocation)
+          .Phrases({P("where is $e from"), P("which city is $e from"),
+                    P("what city does $e come from"),
+                    H("where was $e formed")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("company.parent", kCompany)
+          .Relation({"parent", "name"}, kCompany, QC::kEntity)
+          .Keyword("parent company")
+          .Phrases({P("what company owns $e"),
+                    P("which company is the parent of $e"),
+                    P("what is the parent company of $e"),
+                    H("which company controls $e")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("film.genre", kFilm)
+          .Words("film_genre", {"drama", "comedy", "thriller", "horror",
+                                "romance", "documentary", "animation",
+                                "western"},
+                 QC::kEntity)
+          .Keyword("genre")
+          .Phrases({P("what genre is $e"),  // shared surface with band.genre
+                    P("what kind of film is $e"),
+                    P("what type of movie is $e"),
+                    H("which genre does $e belong to")})
+          .Build());
+
+  // ---- fruit ----
+  intents.push_back(
+      IntentBuilder("fruit.color", kFruit)
+          .Words("color", {"red", "green", "yellow", "orange", "purple"}, QC::kEntity)
+          .Phrases({P("what color is $e"), P("what is the color of $e"),
+                    H("which color does $e have")})
+          .Build());
+  intents.push_back(
+      IntentBuilder("fruit.calories", kFruit)
+          .Attribute({"calories"}, ValueKind::kNumber, 20, 300, QC::kNumeric)
+          .Phrases({P("how many calories does $e have"),
+                    P("how many calories are in $e"),
+                    H("what is the calorie count of $e")})
+          .Build());
+
+  AddGenericIntents(schema, config);
+  return schema;
+}
+
+}  // namespace kbqa::corpus

@@ -1,0 +1,104 @@
+#ifndef KBQA_CORPUS_WORLD_H_
+#define KBQA_CORPUS_WORLD_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/schema.h"
+#include "nlp/question_classifier.h"
+#include "rdf/knowledge_base.h"
+#include "taxonomy/taxonomy.h"
+
+namespace kbqa::corpus {
+
+/// The synthetic stand-in for Wikipedia Infobox (§6.3): per entity, the set
+/// of object terms that are "core facts". valid(k) asks only whether some
+/// predicate connects (s, o) in the infobox, so storing (s, o) pairs is
+/// exactly sufficient.
+class Infobox {
+ public:
+  void Add(rdf::TermId subject, rdf::TermId object) {
+    facts_[subject].insert(object);
+  }
+  bool Contains(rdf::TermId subject, rdf::TermId object) const {
+    auto it = facts_.find(subject);
+    return it != facts_.end() && it->second.count(object) > 0;
+  }
+  size_t num_subjects() const { return facts_.size(); }
+  size_t num_facts() const {
+    size_t n = 0;
+    for (const auto& [s, objs] : facts_) {
+      (void)s;
+      n += objs.size();
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<rdf::TermId, std::unordered_set<rdf::TermId>> facts_;
+};
+
+/// A fully generated world: schema + KB + taxonomy + infobox + the gold
+/// fact catalog that drives QA/benchmark generation. This bundle replaces
+/// KBA/Freebase/DBpedia + Probase + Wikipedia in the paper's setup.
+struct World {
+  Schema schema;
+  rdf::KnowledgeBase kb;
+  taxonomy::Taxonomy taxonomy;
+  Infobox infobox;
+
+  /// Entities of each schema type (famous seed entities first — they are
+  /// the most popular under the Zipf sampling of the QA generator).
+  std::vector<std::vector<rdf::TermId>> entities_by_type;
+
+  /// Gold fact catalog: FactKey(intent, subject) -> value terms. For
+  /// attribute intents the terms are literals; for relations they are the
+  /// *target entities* (surface value = the target's name).
+  std::unordered_map<uint64_t, std::vector<rdf::TermId>> facts;
+
+  /// Per-predicate answer-class labels ("manually labeled predicate
+  /// categories" of §4.1.1). The name predicate is transparent/unlabeled.
+  std::unordered_map<rdf::PredId, nlp::QuestionClass> predicate_class;
+
+  /// Name-like predicates (tails admitted for expanded predicates >= 2).
+  std::unordered_set<rdf::PredId> name_like;
+
+  /// Alias-bearing predicates beyond `name` (fed to the NER gazetteer).
+  std::vector<rdf::PredId> alias_predicates;
+
+  static uint64_t FactKey(int intent, rdf::TermId subject) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(intent)) << 32) |
+           subject;
+  }
+
+  /// Values recorded for (intent, subject); empty when the fact is missing
+  /// (KB incompleteness is generated on purpose).
+  const std::vector<rdf::TermId>* FactValues(int intent,
+                                             rdf::TermId subject) const {
+    auto it = facts.find(FactKey(intent, subject));
+    return it == facts.end() ? nullptr : &it->second;
+  }
+
+  /// Surface string of a fact value term: literal text, or the target
+  /// entity's display name for relations.
+  std::string ValueSurface(rdf::TermId value_term) const {
+    return kb.IsLiteral(value_term) ? kb.NodeString(value_term)
+                                    : kb.EntityName(value_term);
+  }
+
+  /// Looks up a famous seed entity by display name; kInvalidTerm if absent.
+  rdf::TermId FamousByName(const std::string& name) const {
+    auto it = famous.find(name);
+    return it == famous.end() ? rdf::kInvalidTerm : it->second;
+  }
+
+  /// Hand-wired famous entities (lowercase display name -> entity), used by
+  /// the paper's running examples and the complex-question bench.
+  std::unordered_map<std::string, rdf::TermId> famous;
+};
+
+}  // namespace kbqa::corpus
+
+#endif  // KBQA_CORPUS_WORLD_H_

@@ -1,0 +1,424 @@
+#include "corpus/world_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/name_generator.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "util/rng.h"
+
+namespace kbqa::corpus {
+
+namespace {
+
+using rdf::PredId;
+using rdf::TermId;
+using taxonomy::CategoryId;
+
+/// Mutable generation state threaded through the helpers.
+struct GenState {
+  World* w;
+  Rng* rng;
+  std::vector<PredId> pred_ids;  // parallel to interned predicate names
+  std::unordered_map<std::string, PredId> pred_by_name;
+  std::vector<CategoryId> type_category;       // per entity type
+  std::unordered_map<std::string, CategoryId> extra_category;
+  std::unordered_map<TermId, TermId> name_literal;  // entity -> name literal
+  size_t cvt_counter = 0;
+
+  PredId Pred(const std::string& name) {
+    auto it = pred_by_name.find(name);
+    if (it != pred_by_name.end()) return it->second;
+    PredId id = w->kb.AddPredicate(name);
+    pred_by_name.emplace(name, id);
+    return id;
+  }
+};
+
+std::string RenderLiteral(const IntentSpec& intent, Rng& rng) {
+  switch (intent.value_kind) {
+    case ValueKind::kNumber:
+    case ValueKind::kYear:
+      return std::to_string(rng.UniformInt(intent.min_value, intent.max_value));
+    case ValueKind::kWord:
+      return intent.word_values[rng.Uniform(intent.word_values.size())];
+  }
+  return "0";
+}
+
+/// Creates one entity node with its name triple and base category.
+TermId CreateEntity(GenState& gs, int type, const std::string& iri,
+                    const std::string& name) {
+  World& w = *gs.w;
+  TermId e = w.kb.AddEntity(iri);
+  TermId name_lit = w.kb.AddLiteral(name);
+  w.kb.AddTriple(e, w.kb.name_predicate(), name_lit);
+  gs.name_literal[e] = name_lit;
+  w.taxonomy.AddEntityCategory(e, gs.type_category[type], 1.0);
+  // The entity's own name is always a core (infobox) fact.
+  w.infobox.Add(e, name_lit);
+  return e;
+}
+
+/// Grants a profession-derived subcategory ($politician for "politician",
+/// ...), mirroring how Probase derives fine-grained concepts.
+void MaybeAddProfessionCategory(GenState& gs, TermId person,
+                                const std::string& profession) {
+  static const std::unordered_map<std::string, std::string> kMap = {
+      {"politician", "$politician"},
+      {"writer", "$author"},
+      {"musician", "$musician"},
+  };
+  auto it = kMap.find(profession);
+  if (it == kMap.end()) return;
+  auto cat = gs.extra_category.find(it->second);
+  if (cat != gs.extra_category.end()) {
+    gs.w->taxonomy.AddEntityCategory(person, cat->second, 2.0);
+  }
+}
+
+/// Wires one fact: KB edges, fact catalog, infobox, subcategories.
+/// For attributes `literal_text` is the value; for relations `target` is
+/// the object entity.
+void AddFact(GenState& gs, int intent_idx, TermId subject,
+             const std::string& literal_text, TermId target) {
+  World& w = *gs.w;
+  const IntentSpec& intent = w.schema.intents()[intent_idx];
+  TermId value_term = rdf::kInvalidTerm;
+
+  if (intent.is_relation()) {
+    assert(target != rdf::kInvalidTerm);
+    const auto& path = intent.path;
+    assert(path.back() == "name");
+    if (path.size() == 2) {
+      w.kb.AddTriple(subject, gs.Pred(path[0]), target);
+    } else {
+      assert(path.size() == 3);
+      std::string cvt_iri = "cvt/" + std::to_string(gs.cvt_counter++);
+      TermId cvt = w.kb.AddEntity(cvt_iri);
+      w.kb.AddTriple(subject, gs.Pred(path[0]), cvt);
+      w.kb.AddTriple(cvt, gs.Pred(path[1]), target);
+    }
+    if (!intent.target_subcategory.empty()) {
+      w.taxonomy.AddEntityCategory(
+          target, gs.extra_category.at(intent.target_subcategory), 2.0);
+    }
+    value_term = target;
+    if (intent.in_infobox) w.infobox.Add(subject, gs.name_literal.at(target));
+  } else {
+    assert(intent.path.size() == 1);
+    TermId lit = w.kb.AddLiteral(literal_text);
+    w.kb.AddTriple(subject, gs.Pred(intent.path[0]), lit);
+    value_term = lit;
+    if (intent.in_infobox) w.infobox.Add(subject, lit);
+    if (intent.name == "person.profession") {
+      MaybeAddProfessionCategory(gs, subject, literal_text);
+    }
+  }
+  w.facts[World::FactKey(intent_idx, subject)].push_back(value_term);
+}
+
+// ---- Famous seed entities (the paper's running examples) ----
+
+struct FamousFact {
+  const char* intent;
+  const char* value;  // literal text, or the target's famous name
+};
+struct FamousEntitySpec {
+  const char* type;
+  const char* name;
+  std::vector<FamousFact> facts;
+};
+
+const std::vector<FamousEntitySpec>& FamousSpecs() {
+  static const std::vector<FamousEntitySpec>* const kSpecs =
+      new std::vector<FamousEntitySpec>{
+          {"city", "honolulu",
+           {{"city.population", "390000"},
+            {"city.area", "177"},
+            {"city.country", "united states"}}},
+          {"city", "chicago",
+           {{"city.population", "2700000"},
+            {"city.country", "united states"}}},
+          {"city", "washington",
+           {{"city.population", "700000"},
+            {"city.country", "united states"}}},
+          {"city", "tokyo",
+           {{"city.population", "13960000"},
+            {"city.area", "2194"},
+            {"city.country", "japan"}}},
+          {"city", "london",
+           {{"city.population", "8900000"},
+            {"city.area", "1572"},
+            {"city.country", "britain"}}},
+          {"city", "berlin",
+           {{"city.population", "3700000"},
+            {"city.area", "891"},
+            {"city.country", "germany"}}},
+          {"city", "mountain view",
+           {{"city.population", "82000"},
+            {"city.country", "united states"}}},
+          {"country", "japan",
+           {{"country.capital", "tokyo"},
+            {"country.population", "125800000"}}},
+          {"country", "britain",
+           {{"country.capital", "london"},
+            {"country.population", "67000000"}}},
+          {"country", "germany",
+           {{"country.capital", "berlin"},
+            {"country.population", "83000000"}}},
+          {"country", "united states",
+           {{"country.capital", "washington"},
+            {"country.population", "331000000"}}},
+          {"person", "barack obama",
+           {{"person.dob", "1961"},
+            {"person.pob", "honolulu"},
+            {"person.spouse", "michelle obama"},
+            {"person.profession", "politician"},
+            {"person.height", "185"}}},
+          {"person", "michelle obama",
+           {{"person.dob", "1964"},
+            {"person.pob", "chicago"},
+            {"person.spouse", "barack obama"},
+            {"person.profession", "lawyer"}}},
+          {"person", "sundar pichai",
+           {{"person.dob", "1972"}, {"person.profession", "engineer"}}},
+          {"person", "larry page",
+           {{"person.dob", "1973"}, {"person.profession", "engineer"}}},
+          {"person", "chris martin",
+           {{"person.dob", "1977"},
+            {"person.instrument", "piano"},
+            {"person.profession", "musician"}}},
+          {"person", "jonny buckland",
+           {{"person.dob", "1977"},
+            {"person.instrument", "guitar"},
+            {"person.profession", "musician"}}},
+          {"person", "j k rowling",
+           {{"person.dob", "1965"},
+            {"person.profession", "writer"},
+            {"person.works", "harry potter"},
+            {"person.works", "the casual vacancy"}}},
+          {"company", "google",
+           {{"company.ceo", "sundar pichai"},
+            {"company.founder", "larry page"},
+            {"company.headquarters", "mountain view"},
+            {"company.founded", "1998"},
+            {"company.employees", "140000"}}},
+          {"band", "coldplay",
+           {{"band.members", "chris martin"},
+            {"band.members", "jonny buckland"},
+            {"band.formed", "1996"},
+            {"band.genre", "rock"}}},
+          {"book", "harry potter",
+           {{"book.author", "j k rowling"},
+            {"book.published", "1997"},
+            {"book.pages", "309"}}},
+          {"book", "the casual vacancy",
+           {{"book.author", "j k rowling"},
+            {"book.published", "2012"},
+            {"book.pages", "503"}}},
+      };
+  return *kSpecs;
+}
+
+void AddFamousEntities(GenState& gs) {
+  World& w = *gs.w;
+  // Phase 1: create all famous entities so relation targets resolve.
+  for (const FamousEntitySpec& spec : FamousSpecs()) {
+    int type = w.schema.TypeIndex(spec.type);
+    assert(type >= 0);
+    std::string iri = std::string(spec.type) + "/famous-" + spec.name;
+    TermId e = CreateEntity(gs, type, iri, spec.name);
+    w.entities_by_type[type].push_back(e);
+    w.famous.emplace(spec.name, e);
+  }
+  // Phase 2: wire facts.
+  for (const FamousEntitySpec& spec : FamousSpecs()) {
+    TermId subject = w.famous.at(spec.name);
+    for (const FamousFact& fact : spec.facts) {
+      int intent_idx = w.schema.IntentIndex(fact.intent);
+      assert(intent_idx >= 0);
+      const IntentSpec& intent = w.schema.intents()[intent_idx];
+      if (intent.is_relation()) {
+        TermId target = w.FamousByName(fact.value);
+        assert(target != rdf::kInvalidTerm);
+        AddFact(gs, intent_idx, subject, "", target);
+      } else {
+        AddFact(gs, intent_idx, subject, fact.value, rdf::kInvalidTerm);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+World GenerateWorld(const WorldConfig& config) {
+  World w;
+  w.schema = Schema::Standard(config.schema);
+  Rng rng(config.seed);
+  GenState gs{&w, &rng, {}, {}, {}, {}, {}, 0};
+
+  // Name predicate first; it anchors the name index and the name-like set.
+  PredId name_pred = w.kb.AddPredicate("name");
+  gs.pred_by_name.emplace("name", name_pred);
+  w.kb.SetNamePredicate(name_pred);
+  w.name_like.insert(name_pred);
+  PredId alias_pred = w.kb.AddPredicate("alias");
+  gs.pred_by_name.emplace("alias", alias_pred);
+  w.name_like.insert(alias_pred);
+  w.alias_predicates.push_back(alias_pred);
+
+  const auto& types = w.schema.types();
+  const auto& intents = w.schema.intents();
+
+  // Categories: one per type, plus the subcategories intents reference.
+  for (const EntityTypeSpec& t : types) {
+    gs.type_category.push_back(w.taxonomy.AddCategory(t.category));
+  }
+  for (const char* extra : {"$politician", "$executive", "$musician",
+                            "$author"}) {
+    gs.extra_category.emplace(extra, w.taxonomy.AddCategory(extra));
+  }
+  for (const IntentSpec& intent : intents) {
+    if (!intent.target_subcategory.empty() &&
+        gs.extra_category.count(intent.target_subcategory) == 0) {
+      gs.extra_category.emplace(intent.target_subcategory,
+                                w.taxonomy.AddCategory(intent.target_subcategory));
+    }
+  }
+
+  w.entities_by_type.resize(types.size());
+  if (config.include_famous_entities) AddFamousEntities(gs);
+
+  // Draw entity names per type; then force fruit/company polysemy ("apple"
+  // names both a $fruit and a $company).
+  Rng name_rng = rng.Fork(1);
+  std::vector<std::vector<std::string>> names(types.size());
+  for (size_t t = 0; t < types.size(); ++t) {
+    names[t].reserve(types[t].count);
+    for (size_t i = 0; i < types[t].count; ++i) {
+      // Name collisions ("Springfield"): occasionally reuse an earlier
+      // same-type name so entity linking is genuinely ambiguous.
+      if (i > 0 && name_rng.Bernoulli(config.name_collision_rate)) {
+        names[t].push_back(names[t][name_rng.Uniform(i)]);
+      } else {
+        names[t].push_back(
+            NameGenerator::Generate(name_rng, types[t].name_style));
+      }
+    }
+  }
+  int fruit_type = w.schema.TypeIndex("fruit");
+  int company_type = w.schema.TypeIndex("company");
+  if (fruit_type >= 0 && company_type >= 0) {
+    int n = std::min<int>(config.num_polysemous_names,
+                          static_cast<int>(std::min(names[fruit_type].size(),
+                                                    names[company_type].size())));
+    for (int i = 0; i < n; ++i) {
+      names[company_type][i] = names[fruit_type][i];
+    }
+  }
+
+  Rng alias_rng = rng.Fork(3);
+  for (size_t t = 0; t < types.size(); ++t) {
+    for (size_t i = 0; i < types[t].count; ++i) {
+      std::string iri = types[t].name + "/" + std::to_string(i);
+      TermId e = CreateEntity(gs, static_cast<int>(t), iri, names[t][i]);
+      w.entities_by_type[t].push_back(e);
+      // Alias surface forms: a content word of a multi-word name — the
+      // last for persons ("obama" for "barack obama"), the first
+      // non-stopword otherwise ("silent" never "the"). Stopword and
+      // too-short candidates are rejected: an alias like "the" would turn
+      // every question into a false mention.
+      if (alias_rng.Bernoulli(config.alias_rate)) {
+        std::vector<std::string> words = nlp::TokenizeQuestion(names[t][i]);
+        std::string alias;
+        if (words.size() >= 2) {
+          if (t == 0) {
+            alias = words.back();
+          } else {
+            for (const std::string& word : words) {
+              if (!nlp::IsStopword(word)) {
+                alias = word;
+                break;
+              }
+            }
+          }
+        }
+        if (alias.size() > 3 && !nlp::IsStopword(alias) &&
+            alias != names[t][i]) {
+          TermId alias_lit = w.kb.AddLiteral(alias);
+          w.kb.AddTriple(e, gs.Pred("alias"), alias_lit);
+          w.infobox.Add(e, alias_lit);
+        }
+      }
+    }
+  }
+
+  // Random facts for every (intent, subject) not wired by the famous set.
+  Rng fact_rng = rng.Fork(2);
+  for (int intent_idx = 0; intent_idx < static_cast<int>(intents.size());
+       ++intent_idx) {
+    const IntentSpec& intent = intents[intent_idx];
+    const auto& subjects = w.entities_by_type[intent.entity_type];
+    const auto& targets = intent.is_relation()
+                              ? w.entities_by_type[intent.target_type]
+                              : subjects;  // unused for attributes
+    for (TermId subject : subjects) {
+      if (w.facts.count(World::FactKey(intent_idx, subject)) > 0) continue;
+      if (fact_rng.Bernoulli(config.fact_missing_rate)) continue;
+      int fanout = static_cast<int>(
+          fact_rng.UniformInt(intent.min_fanout, intent.max_fanout));
+      std::vector<TermId> chosen;
+      for (int f = 0; f < fanout; ++f) {
+        if (intent.is_relation()) {
+          if (targets.empty()) break;
+          TermId target = targets[fact_rng.Uniform(targets.size())];
+          if (target == subject) continue;  // no self-relations
+          bool dup = false;
+          for (TermId c : chosen) dup = dup || (c == target);
+          if (dup) continue;
+          chosen.push_back(target);
+          AddFact(gs, intent_idx, subject, "", target);
+        } else {
+          AddFact(gs, intent_idx, subject, RenderLiteral(intent, fact_rng),
+                  rdf::kInvalidTerm);
+        }
+      }
+    }
+  }
+
+  // Predicate answer-class labels: the last non-name predicate of each
+  // intent carries the intent's class. First label wins on conflicts
+  // (shared predicates like "population" are class-consistent by design).
+  for (const IntentSpec& intent : intents) {
+    for (auto it = intent.path.rbegin(); it != intent.path.rend(); ++it) {
+      if (*it == "name") continue;
+      auto pred = w.kb.LookupPredicate(*it);
+      if (pred) w.predicate_class.emplace(*pred, intent.answer_class);
+      break;
+    }
+  }
+
+  // Context affinities: every content word of a training paraphrase is
+  // evidence for the subject type's category (the Probase-style
+  // co-occurrence model behind context-aware conceptualization).
+  for (const IntentSpec& intent : intents) {
+    CategoryId cat = gs.type_category[intent.entity_type];
+    for (const Paraphrase& para : intent.paraphrases) {
+      if (!para.train) continue;
+      for (const std::string& tok : nlp::TokenizeQuestion(para.pattern)) {
+        if (tok == "$e" || tok == "e" || nlp::IsStopword(tok)) continue;
+        w.taxonomy.AddContextAffinity(cat, tok, 0.5);
+      }
+    }
+  }
+
+  w.kb.Freeze();
+  return w;
+}
+
+}  // namespace kbqa::corpus

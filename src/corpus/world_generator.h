@@ -1,0 +1,44 @@
+#ifndef KBQA_CORPUS_WORLD_GENERATOR_H_
+#define KBQA_CORPUS_WORLD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/world.h"
+#include "util/status.h"
+
+namespace kbqa::corpus {
+
+/// Knobs for world generation.
+struct WorldConfig {
+  uint64_t seed = 42;
+  SchemaConfig schema;
+  /// Companies that share a fruit's exact surface name — the "apple"
+  /// polysemy the conceptualization step must resolve.
+  int num_polysemous_names = 6;
+  /// Probability that a generated entity reuses an earlier same-type
+  /// entity's surface name (real-world "Springfield" collisions). Ambiguous
+  /// names are what separate joint entity&value extraction from plain NER
+  /// in §7.5 — plain NER has no signal to pick among same-named entities.
+  double name_collision_rate = 0.15;
+  /// Probability that a (subject, intent) fact is absent from the KB —
+  /// models knowledge-base incompleteness (§3.1 lists it as a core source
+  /// of uncertainty).
+  double fact_missing_rate = 0.10;
+  /// Probability that an entity also carries an `alias` surface form (a
+  /// person's last name, a multi-word name's head word). Aliases flow into
+  /// the NER gazetteer and are name-like tails for predicate expansion —
+  /// the paper's Table 18 shows alias-tailed expanded predicates
+  /// (organization_members -> member -> alias).
+  double alias_rate = 0.15;
+  /// Whether to wire the hand-authored famous entities (Barack Obama,
+  /// Honolulu, Google, Coldplay, ...) used by the paper's running examples.
+  bool include_famous_entities = true;
+};
+
+/// Generates a complete world deterministically from `config`. See
+/// DESIGN.md §2 for the substitution rationale.
+World GenerateWorld(const WorldConfig& config);
+
+}  // namespace kbqa::corpus
+
+#endif  // KBQA_CORPUS_WORLD_GENERATOR_H_

@@ -1,0 +1,106 @@
+#include "eval/experiment.h"
+
+namespace kbqa::eval {
+
+ExperimentConfig ExperimentConfig::Standard() {
+  ExperimentConfig config;
+  config.world.seed = 42;
+  config.corpus.seed = 7;
+  config.corpus.num_pairs = 60000;
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::Small() {
+  ExperimentConfig config;
+  config.world.seed = 42;
+  config.world.schema.scale = 0.08;
+  config.world.schema.generic_attributes_per_type = 3;
+  config.world.schema.generic_relations_per_type = 2;
+  config.corpus.seed = 7;
+  config.corpus.num_pairs = 4000;
+  config.webdoc_sentences = 4000;
+  config.kbqa.em.max_iterations = 15;
+  return config;
+}
+
+Result<std::unique_ptr<Experiment>> Experiment::Build(
+    const ExperimentConfig& config) {
+  auto experiment = std::unique_ptr<Experiment>(new Experiment());
+  experiment->config_ = config;
+  experiment->world_ =
+      std::make_unique<corpus::World>(corpus::GenerateWorld(config.world));
+  const corpus::World& world = *experiment->world_;
+
+  experiment->train_corpus_ =
+      corpus::GenerateTrainingCorpus(world, config.corpus);
+
+  experiment->kbqa_ =
+      std::make_unique<core::KbqaSystem>(&world, config.kbqa);
+  KBQA_RETURN_IF_ERROR(experiment->kbqa_->Train(experiment->train_corpus_));
+
+  // Baselines share KBQA's NER and expanded KB: coverage differences in the
+  // tables come from the question representation, not from data access.
+  const nlp::GazetteerNer& ner = experiment->kbqa_->ner();
+  const rdf::ExpandedKb& ekb = experiment->kbqa_->expanded_kb();
+
+  std::vector<std::string> webdocs = corpus::GenerateWebDocs(
+      world, config.webdoc_sentences, config.world.seed ^ 0x9e3779b9ULL);
+  experiment->lexicon_ = std::make_unique<baselines::SynonymLexicon>(
+      baselines::SynonymLexicon::Learn(world.kb, ekb, ner, webdocs));
+
+  experiment->rule_qa_ =
+      std::make_unique<baselines::RuleQa>(&world.kb, &ner);
+  experiment->keyword_qa_ =
+      std::make_unique<baselines::KeywordQa>(&world, &ner);
+  experiment->synonym_qa_ = std::make_unique<baselines::SynonymQa>(
+      &world, &ekb, &ner, experiment->lexicon_.get());
+  experiment->graph_qa_ = std::make_unique<baselines::GraphQa>(
+      &world, &ekb, &ner, experiment->lexicon_.get());
+  experiment->alignment_qa_ = std::make_unique<baselines::AlignmentQa>(
+      &world, &ekb, &ner, &experiment->kbqa_->ev_extractor(),
+      experiment->train_corpus_);
+  return experiment;
+}
+
+std::vector<const core::QaSystemInterface*> Experiment::Baselines() const {
+  return {rule_qa_.get(), keyword_qa_.get(), synonym_qa_.get(),
+          graph_qa_.get(), alignment_qa_.get()};
+}
+
+corpus::BenchmarkSet Experiment::MakeQald5() const {
+  corpus::BenchmarkConfig config;
+  config.name = "QALD-5-like";
+  config.seed = 505;
+  config.num_questions = 50;
+  config.bfq_ratio = 0.24;
+  return corpus::GenerateBenchmark(*world_, config);
+}
+
+corpus::BenchmarkSet Experiment::MakeQald3() const {
+  corpus::BenchmarkConfig config;
+  config.name = "QALD-3-like";
+  config.seed = 303;
+  config.num_questions = 99;
+  config.bfq_ratio = 0.41;
+  return corpus::GenerateBenchmark(*world_, config);
+}
+
+corpus::BenchmarkSet Experiment::MakeQald1() const {
+  corpus::BenchmarkConfig config;
+  config.name = "QALD-1-like";
+  config.seed = 101;
+  config.num_questions = 50;
+  config.bfq_ratio = 0.54;
+  return corpus::GenerateBenchmark(*world_, config);
+}
+
+corpus::BenchmarkSet Experiment::MakeWebQuestions() const {
+  corpus::BenchmarkConfig config;
+  config.name = "WebQuestions-like";
+  config.seed = 2032;
+  config.num_questions = 2032;
+  config.bfq_ratio = 0.35;
+  return corpus::GenerateBenchmark(*world_, config);
+}
+
+}  // namespace kbqa::eval

@@ -1,0 +1,87 @@
+#ifndef KBQA_EVAL_EXPERIMENT_H_
+#define KBQA_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/alignment_qa.h"
+#include "baselines/graph_qa.h"
+#include "baselines/keyword_qa.h"
+#include "baselines/rule_qa.h"
+#include "baselines/synonym_lexicon.h"
+#include "baselines/synonym_qa.h"
+#include "core/kbqa_system.h"
+#include "corpus/qa_generator.h"
+#include "corpus/world_generator.h"
+#include "util/status.h"
+
+namespace kbqa::eval {
+
+/// Configuration of a full experimental setup.
+struct ExperimentConfig {
+  corpus::WorldConfig world;
+  corpus::QaGenConfig corpus;
+  /// Sentences in the synthetic web-doc corpus for the bootstrapped
+  /// synonym lexicon (the paper's bootstrapping row uses 256M sentences;
+  /// scaled down with everything else).
+  size_t webdoc_sentences = 60000;
+  core::KbqaOptions kbqa;
+
+  /// The defaults used by all table benches (so numbers are comparable
+  /// across binaries).
+  static ExperimentConfig Standard();
+  /// A small configuration for unit/integration tests (sub-second build).
+  static ExperimentConfig Small();
+};
+
+/// A fully assembled experiment: generated world, training corpus, trained
+/// KBQA, bootstrapped lexicon, and every baseline system. Heap-held parts
+/// keep internal pointers stable, so Experiment is movable.
+class Experiment {
+ public:
+  /// Builds everything; returns an error if training fails.
+  static Result<std::unique_ptr<Experiment>> Build(
+      const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const corpus::World& world() const { return *world_; }
+  const corpus::QaCorpus& train_corpus() const { return train_corpus_; }
+  const core::KbqaSystem& kbqa() const { return *kbqa_; }
+  const baselines::SynonymLexicon& lexicon() const { return *lexicon_; }
+
+  const baselines::RuleQa& rule_qa() const { return *rule_qa_; }
+  const baselines::KeywordQa& keyword_qa() const { return *keyword_qa_; }
+  const baselines::SynonymQa& synonym_qa() const { return *synonym_qa_; }
+  const baselines::GraphQa& graph_qa() const { return *graph_qa_; }
+  const baselines::AlignmentQa& alignment_qa() const {
+    return *alignment_qa_;
+  }
+
+  /// All baseline systems (for sweep-style tables).
+  std::vector<const core::QaSystemInterface*> Baselines() const;
+
+  /// QALD-like benchmark sets matching Table 5's shapes.
+  corpus::BenchmarkSet MakeQald5() const;
+  corpus::BenchmarkSet MakeQald3() const;
+  corpus::BenchmarkSet MakeQald1() const;
+  corpus::BenchmarkSet MakeWebQuestions() const;
+
+ private:
+  Experiment() = default;
+
+  ExperimentConfig config_;
+  std::unique_ptr<corpus::World> world_;
+  corpus::QaCorpus train_corpus_;
+  std::unique_ptr<core::KbqaSystem> kbqa_;
+  std::unique_ptr<baselines::SynonymLexicon> lexicon_;
+  std::unique_ptr<baselines::RuleQa> rule_qa_;
+  std::unique_ptr<baselines::KeywordQa> keyword_qa_;
+  std::unique_ptr<baselines::SynonymQa> synonym_qa_;
+  std::unique_ptr<baselines::GraphQa> graph_qa_;
+  std::unique_ptr<baselines::AlignmentQa> alignment_qa_;
+};
+
+}  // namespace kbqa::eval
+
+#endif  // KBQA_EVAL_EXPERIMENT_H_

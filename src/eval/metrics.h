@@ -1,0 +1,47 @@
+#ifndef KBQA_EVAL_METRICS_H_
+#define KBQA_EVAL_METRICS_H_
+
+#include <cstddef>
+
+namespace kbqa::eval {
+
+/// QALD-style effectiveness counters (§7.3.1): #total questions, #BFQ among
+/// them, #pro answered (non-null), #ri right, #par partially right.
+struct QaldCounts {
+  size_t total = 0;
+  size_t bfq = 0;
+  size_t pro = 0;
+  size_t ri = 0;
+  size_t par = 0;
+
+  // Derived metrics, exactly as defined in the paper.
+  double P() const { return pro == 0 ? 0 : static_cast<double>(ri) / pro; }
+  double PStar() const {
+    return pro == 0 ? 0 : static_cast<double>(ri + par) / pro;
+  }
+  double R() const { return total == 0 ? 0 : static_cast<double>(ri) / total; }
+  double RStar() const {
+    return total == 0 ? 0 : static_cast<double>(ri + par) / total;
+  }
+  double RBfq() const { return bfq == 0 ? 0 : static_cast<double>(ri) / bfq; }
+  double RStarBfq() const {
+    return bfq == 0 ? 0 : static_cast<double>(ri + par) / bfq;
+  }
+  double F1() const {
+    double p = P(), r = R();
+    return (p + r) == 0 ? 0 : 2 * p * r / (p + r);
+  }
+
+  QaldCounts& operator+=(const QaldCounts& other) {
+    total += other.total;
+    bfq += other.bfq;
+    pro += other.pro;
+    ri += other.ri;
+    par += other.par;
+    return *this;
+  }
+};
+
+}  // namespace kbqa::eval
+
+#endif  // KBQA_EVAL_METRICS_H_

@@ -1,0 +1,66 @@
+#ifndef KBQA_EVAL_REPORT_H_
+#define KBQA_EVAL_REPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace kbqa::eval {
+
+/// Error analysis over a benchmark run: per-question-kind breakdown,
+/// seen-vs-unseen paraphrase recall, latency percentiles, and sampled
+/// failure examples — the §7.3.1 "recall analysis" as a reusable artifact
+/// instead of ad-hoc bench code.
+class EvaluationReport {
+ public:
+  struct Options {
+    size_t max_failure_examples = 5;
+  };
+
+  static EvaluationReport Build(const RunResult& run,
+                                const Options& options);
+  static EvaluationReport Build(const RunResult& run) {
+    return Build(run, Options());
+  }
+
+  /// Counters restricted to one question kind ("bfq", "superlative", ...).
+  const std::map<std::string, QaldCounts>& by_kind() const { return by_kind_; }
+
+  /// Recall over BFQs phrased with training-seen paraphrases vs held-out
+  /// ones — quantifies the strict-template-matching failure mode.
+  double seen_recall() const { return seen_recall_; }
+  double unseen_recall() const { return unseen_recall_; }
+  size_t num_seen_bfq() const { return num_seen_bfq_; }
+  size_t num_unseen_bfq() const { return num_unseen_bfq_; }
+
+  /// Latency percentiles over all questions, in milliseconds.
+  double latency_p50_ms() const { return latency_p50_ms_; }
+  double latency_p95_ms() const { return latency_p95_ms_; }
+  double latency_max_ms() const { return latency_max_ms_; }
+
+  /// Sampled wrong/declined BFQs for inspection.
+  const std::vector<JudgedQuestion>& failure_examples() const {
+    return failure_examples_;
+  }
+
+  /// Renders the full report.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::map<std::string, QaldCounts> by_kind_;
+  double seen_recall_ = 0;
+  double unseen_recall_ = 0;
+  size_t num_seen_bfq_ = 0;
+  size_t num_unseen_bfq_ = 0;
+  double latency_p50_ms_ = 0;
+  double latency_p95_ms_ = 0;
+  double latency_max_ms_ = 0;
+  std::vector<JudgedQuestion> failure_examples_;
+};
+
+}  // namespace kbqa::eval
+
+#endif  // KBQA_EVAL_REPORT_H_

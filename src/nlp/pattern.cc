@@ -1,0 +1,85 @@
+#include "nlp/pattern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace kbqa::nlp {
+
+std::string MakePattern(const std::vector<std::string>& tokens, size_t begin,
+                        size_t end) {
+  assert(begin < end && end <= tokens.size());
+  std::string out;
+  for (size_t i = 0; i < begin; ++i) {
+    if (!out.empty()) out += ' ';
+    out += tokens[i];
+  }
+  if (!out.empty()) out += ' ';
+  out += kEntitySlot;
+  for (size_t i = end; i < tokens.size(); ++i) {
+    out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+PatternIndex PatternIndex::Build(const std::vector<PatternQuestion>& questions,
+                                 const Options& options) {
+  PatternIndex index;
+
+  // Pass 1: register the validly matched patterns and count fv, dedup per
+  // question ("the number of questions that validly matches qˇ").
+  for (const PatternQuestion& q : questions) {
+    std::unordered_set<std::string> seen;
+    for (const auto& [begin, end] : q.mention_spans) {
+      if (begin >= end || end > q.tokens.size()) continue;
+      std::string pattern = MakePattern(q.tokens, begin, end);
+      if (seen.insert(pattern).second) ++index.stats_[pattern].fv;
+    }
+  }
+
+  // Pass 2: count fo — any-substring matches — but only for patterns that
+  // pass 1 admitted (others have P(qˇ) = 0 regardless of fo).
+  for (const PatternQuestion& q : questions) {
+    std::unordered_set<std::string> seen;
+    size_t n = q.tokens.size();
+    for (size_t begin = 0; begin < n; ++begin) {
+      size_t max_end = std::min(n, begin + options.max_span_tokens);
+      for (size_t end = begin + 1; end <= max_end; ++end) {
+        std::string pattern = MakePattern(q.tokens, begin, end);
+        auto it = index.stats_.find(pattern);
+        if (it != index.stats_.end() && seen.insert(pattern).second) {
+          ++it->second.fo;
+        }
+      }
+    }
+    // Long mentions can exceed max_span_tokens; make sure every valid match
+    // is also an occurrence so fv <= fo holds by construction.
+    for (const auto& [begin, end] : q.mention_spans) {
+      if (begin >= end || end > n || end - begin <= options.max_span_tokens) {
+        continue;
+      }
+      std::string pattern = MakePattern(q.tokens, begin, end);
+      auto it = index.stats_.find(pattern);
+      if (it != index.stats_.end() && seen.insert(pattern).second) {
+        ++it->second.fo;
+      }
+    }
+  }
+  return index;
+}
+
+double PatternIndex::ValidProbability(const std::string& pattern) const {
+  auto it = stats_.find(pattern);
+  if (it == stats_.end() || it->second.fo == 0) return 0.0;
+  return static_cast<double>(it->second.fv) /
+         static_cast<double>(it->second.fo);
+}
+
+PatternStats PatternIndex::Stats(const std::string& pattern) const {
+  auto it = stats_.find(pattern);
+  if (it == stats_.end()) return {};
+  return it->second;
+}
+
+}  // namespace kbqa::nlp

@@ -1,0 +1,104 @@
+#include "nlp/question_classifier.h"
+
+#include <algorithm>
+
+namespace kbqa::nlp {
+
+const char* QuestionClassToString(QuestionClass c) {
+  switch (c) {
+    case QuestionClass::kAbbreviation:
+      return "ABBR";
+    case QuestionClass::kDescription:
+      return "DESC";
+    case QuestionClass::kEntity:
+      return "ENTY";
+    case QuestionClass::kHuman:
+      return "HUM";
+    case QuestionClass::kLocation:
+      return "LOC";
+    case QuestionClass::kNumeric:
+      return "NUM";
+    case QuestionClass::kUnknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+QuestionClassifier::QuestionClassifier() {
+  human_heads_ = {"person",   "people",  "author", "president", "ceo",
+                  "founder",  "mayor",   "wife",   "husband",   "spouse",
+                  "director", "leader",  "member", "members",   "writer",
+                  "singer",   "actor",   "chief",  "king",      "queen"};
+  location_heads_ = {"city",    "country", "place",    "capital",
+                     "location", "state",  "continent", "headquarter",
+                     "headquarters", "river", "hometown", "birthplace"};
+  numeric_heads_ = {"population", "number", "area",   "length", "height",
+                    "size",       "year",   "date",   "birthday", "age",
+                    "count",      "amount", "income", "revenue",  "gdp"};
+  entity_heads_ = {"book",  "books",  "instrument", "currency", "language",
+                   "song",  "songs",  "film",       "movie",    "band",
+                   "color", "animal", "sport",      "company",  "university"};
+}
+
+namespace {
+
+bool ContainsToken(const std::vector<std::string>& tokens,
+                   const std::vector<std::string>& table) {
+  for (const std::string& t : tokens) {
+    if (std::find(table.begin(), table.end(), t) != table.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QuestionClass QuestionClassifier::ClassifyWhat(
+    const std::vector<std::string>& tokens) const {
+  // Scan head words after the wh-word; the first table hit wins, with the
+  // NUM table checked first ("what is the population of x" is numeric even
+  // though "x" might be a location head elsewhere in the question).
+  if (ContainsToken(tokens, numeric_heads_)) return QuestionClass::kNumeric;
+  if (ContainsToken(tokens, human_heads_)) return QuestionClass::kHuman;
+  if (ContainsToken(tokens, location_heads_)) return QuestionClass::kLocation;
+  if (ContainsToken(tokens, entity_heads_)) return QuestionClass::kEntity;
+  // No head word matched: stay conservative. Guessing ENTY here would make
+  // the EV-refinement filter discard valid numeric facts for phrasings
+  // like "what is the <rare attribute> of X".
+  return QuestionClass::kUnknown;
+}
+
+QuestionClass QuestionClassifier::Classify(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return QuestionClass::kUnknown;
+  const std::string& w0 = tokens[0];
+
+  if (w0 == "who" || w0 == "whose" || w0 == "whom") {
+    return QuestionClass::kHuman;
+  }
+  if (w0 == "where") return QuestionClass::kLocation;
+  if (w0 == "when") return QuestionClass::kNumeric;  // NUM:date in UIUC.
+  if (w0 == "why") return QuestionClass::kDescription;
+  if (w0 == "how") {
+    if (tokens.size() >= 2) {
+      const std::string& w1 = tokens[1];
+      if (w1 == "many" || w1 == "much" || w1 == "long" || w1 == "old" ||
+          w1 == "big" || w1 == "large" || w1 == "tall" || w1 == "far" ||
+          w1 == "high" || w1 == "heavy") {
+        return QuestionClass::kNumeric;
+      }
+    }
+    return QuestionClass::kDescription;  // "how do i ..." — manner.
+  }
+  if (w0 == "what" || w0 == "which" || w0 == "name" || w0 == "list" ||
+      w0 == "give") {
+    return ClassifyWhat(tokens);
+  }
+  // Imperatives and fragments like "barack obama's wife": reuse the head
+  // tables so nested sub-questions from the decomposer still get a class.
+  if (ContainsToken(tokens, human_heads_)) return QuestionClass::kHuman;
+  if (ContainsToken(tokens, location_heads_)) return QuestionClass::kLocation;
+  if (ContainsToken(tokens, numeric_heads_)) return QuestionClass::kNumeric;
+  return QuestionClass::kUnknown;
+}
+
+}  // namespace kbqa::nlp

@@ -1,0 +1,48 @@
+#ifndef KBQA_NLP_QUESTION_CLASSIFIER_H_
+#define KBQA_NLP_QUESTION_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+namespace kbqa::nlp {
+
+/// UIUC coarse question classes (Li & Roth [20]). The paper uses question
+/// classification [22] to refine entity–value extraction: a candidate value
+/// is kept only when its predicate's answer type matches the question's
+/// expected answer type (§4.1.1).
+enum class QuestionClass {
+  kAbbreviation,  // ABBR
+  kDescription,   // DESC: definitions, reasons, manner
+  kEntity,        // ENTY: things, creative works, ...
+  kHuman,         // HUM: persons, groups
+  kLocation,      // LOC
+  kNumeric,       // NUM: counts, dates, sizes, ...
+  kUnknown,
+};
+
+const char* QuestionClassToString(QuestionClass c);
+
+/// Rule-based UIUC-style classifier over wh-word + head-word patterns —
+/// the stand-in for the statistical classifier of [22]. Deterministic and
+/// conservative: returns kUnknown rather than guessing on unseen shapes,
+/// which makes the downstream EV-refinement filter precision-oriented.
+class QuestionClassifier {
+ public:
+  QuestionClassifier();
+
+  /// Classifies a tokenized (lowercase) question.
+  QuestionClass Classify(const std::vector<std::string>& tokens) const;
+
+ private:
+  QuestionClass ClassifyWhat(const std::vector<std::string>& tokens) const;
+
+  // Head-noun keyword tables, populated in the constructor.
+  std::vector<std::string> human_heads_;
+  std::vector<std::string> location_heads_;
+  std::vector<std::string> numeric_heads_;
+  std::vector<std::string> entity_heads_;
+};
+
+}  // namespace kbqa::nlp
+
+#endif  // KBQA_NLP_QUESTION_CLASSIFIER_H_

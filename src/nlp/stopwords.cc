@@ -1,0 +1,23 @@
+#include "nlp/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace kbqa::nlp {
+
+bool IsStopword(std::string_view token) {
+  static const std::unordered_set<std::string>* const kStopwords =
+      new std::unordered_set<std::string>{
+          "a",     "an",    "the",  "of",    "in",   "on",    "at",   "to",
+          "for",   "by",    "with", "from",  "is",   "are",   "was",  "were",
+          "be",    "been",  "do",   "does",  "did",  "has",   "have", "had",
+          "what",  "who",   "whom", "whose", "when", "where", "which", "why",
+          "how",   "many",  "much", "there", "'s",   "it",    "its",  "s",
+          "and",   "or",    "that", "this",  "these", "those", "as",  "so",
+          "me",    "my",    "you",  "your",  "i",    "we",    "they", "he",
+          "she",   "his",   "her",  "their", "them", "can",   "could", "would",
+          "should", "will", "tell", "give",  "name", "please", "about"};
+  return kStopwords->count(std::string(token)) > 0;
+}
+
+}  // namespace kbqa::nlp

@@ -1,0 +1,15 @@
+#ifndef KBQA_NLP_STOPWORDS_H_
+#define KBQA_NLP_STOPWORDS_H_
+
+#include <string_view>
+
+namespace kbqa::nlp {
+
+/// True for high-frequency function words that carry no intent signal.
+/// Used when deriving context affinities for conceptualization and when
+/// matching keywords in the baselines.
+bool IsStopword(std::string_view token);
+
+}  // namespace kbqa::nlp
+
+#endif  // KBQA_NLP_STOPWORDS_H_

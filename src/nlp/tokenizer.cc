@@ -1,0 +1,73 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+namespace kbqa::nlp {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '\'' || c == '-';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsWordChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) ++i;
+    if (i > start) {
+      // Strip leading/trailing apostrophes and hyphens so "'hello'" and
+      // "-foo-" normalize, while "obama's" and "twenty-one" survive.
+      size_t b = start, e = i;
+      while (b < e && (text[b] == '\'' || text[b] == '-')) ++b;
+      while (e > b && (text[e - 1] == '\'' || text[e - 1] == '-')) --e;
+      if (e > b) {
+        std::string tok;
+        tok.reserve(e - b);
+        for (size_t k = b; k < e; ++k) {
+          tok.push_back(static_cast<char>(
+              std::tolower(static_cast<unsigned char>(text[k]))));
+        }
+        tokens.push_back(std::move(tok));
+      }
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeQuestion(std::string_view text) {
+  std::vector<std::string> raw = Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (std::string& tok : raw) {
+    if (tok.size() > 2 && tok.ends_with("'s")) {
+      // Canonical possessive form is a bare "s" token — identical to what
+      // Tokenize produces for a detached " 's " written in a pattern.
+      out.push_back(tok.substr(0, tok.size() - 2));
+      out.push_back("s");
+    } else {
+      out.push_back(std::move(tok));
+    }
+  }
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string NormalizeText(std::string_view text) {
+  return JoinTokens(TokenizeQuestion(text));
+}
+
+}  // namespace kbqa::nlp

@@ -1,0 +1,29 @@
+#ifndef KBQA_NLP_TOKENIZER_H_
+#define KBQA_NLP_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kbqa::nlp {
+
+/// Lowercased word tokenizer. Splits on whitespace, strips surrounding
+/// punctuation (keeping internal apostrophes/hyphens: "obama's" stays one
+/// token so possessive handling is explicit downstream), and keeps digit
+/// runs as single tokens. Punctuation-only runs are dropped.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizes and splits possessives: "obama's" -> ["obama", "'s"]. Question
+/// processing uses this form so an entity mention is a clean token span.
+std::vector<std::string> TokenizeQuestion(std::string_view text);
+
+/// Joins tokens with single spaces — the canonical surface form used as a
+/// dictionary key for questions, patterns, and templates.
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+/// Canonical form of a raw question: TokenizeQuestion + JoinTokens.
+std::string NormalizeText(std::string_view text);
+
+}  // namespace kbqa::nlp
+
+#endif  // KBQA_NLP_TOKENIZER_H_

@@ -1,0 +1,23 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+namespace kbqa::rdf {
+
+TermId Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  assert(terms_.size() < kInvalidTerm);
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace kbqa::rdf

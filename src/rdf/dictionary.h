@@ -1,0 +1,54 @@
+#ifndef KBQA_RDF_DICTIONARY_H_
+#define KBQA_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kbqa::rdf {
+
+/// Dictionary-encoded term identifier. Dense, starting at 0; invalid is the
+/// max value. 32 bits supports ~4.2B distinct terms — ample for the scales
+/// this substrate targets, and half the index footprint of 64-bit ids.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+
+/// Bidirectional string<->id dictionary, the first stage of every RDF engine
+/// (Trinity.RDF, RDF-3X, Virtuoso all dictionary-encode terms). Interning is
+/// idempotent; ids are assigned densely in interning order, which makes them
+/// usable directly as vector indexes in the triple store.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Dictionaries back large index structures; keep them move-only so an
+  // accidental deep copy is a compile error.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term` or nullopt when absent. Never interns.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the string for a valid id. Precondition: id < size().
+  const std::string& GetString(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace kbqa::rdf
+
+#endif  // KBQA_RDF_DICTIONARY_H_

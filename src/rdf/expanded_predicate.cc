@@ -1,0 +1,297 @@
+#include "rdf/expanded_predicate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+
+#include "rdf/ntriples.h"
+#include "util/strings.h"
+
+namespace kbqa::rdf {
+
+std::string PathDictionary::Key(const PredPath& path) {
+  std::string key;
+  key.reserve(path.size() * 5);
+  for (PredId p : path) {
+    key.append(reinterpret_cast<const char*>(&p), sizeof(p));
+  }
+  return key;
+}
+
+PathId PathDictionary::Intern(const PredPath& path) {
+  assert(!path.empty());
+  std::string key = Key(path);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  PathId id = static_cast<PathId>(paths_.size());
+  paths_.push_back(path);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<PathId> PathDictionary::Lookup(const PredPath& path) const {
+  auto it = index_.find(Key(path));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PathDictionary::ToString(PathId id, const KnowledgeBase& kb) const {
+  const PredPath& path = GetPath(id);
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += kb.PredicateString(path[i]);
+  }
+  return out;
+}
+
+Result<ExpandedKb> ExpandedKb::Build(
+    const KnowledgeBase& kb, const std::vector<TermId>& seeds,
+    const std::unordered_set<PredId>& name_like,
+    const ExpansionOptions& options) {
+  if (!kb.frozen()) {
+    return Status::FailedPrecondition("ExpandedKb requires a frozen KB");
+  }
+  if (options.max_length < 1) {
+    return Status::InvalidArgument("max_length must be >= 1");
+  }
+
+  ExpandedKb ekb;
+
+  // Frontier entry: origin seed, current node, path walked so far. The
+  // round-based structure mirrors the paper's index+scan+join loop: round r
+  // only extends paths of length r-1.
+  struct FrontierEntry {
+    TermId origin;
+    TermId cur;
+    PathId path;  // kInvalidPath for the empty path at round 0.
+  };
+
+  std::vector<FrontierEntry> frontier;
+  frontier.reserve(seeds.size());
+  {
+    // Deduplicate seeds; a seed occurring twice must not double triples.
+    std::unordered_set<TermId> seen;
+    for (TermId s : seeds) {
+      if (!kb.IsEntity(s)) continue;  // Literals cannot start a path.
+      if (seen.insert(s).second) {
+        frontier.push_back({s, s, kInvalidPath});
+      }
+    }
+  }
+
+  size_t triples = 0;
+  for (int round = 1; round <= options.max_length && !frontier.empty();
+       ++round) {
+    std::vector<FrontierEntry> next;
+    for (const FrontierEntry& fe : frontier) {
+      for (const auto& [p, o] : kb.Out(fe.cur)) {
+        PredPath path;
+        if (fe.path != kInvalidPath) path = ekb.paths_.GetPath(fe.path);
+        path.push_back(p);
+
+        // Record the expanded triple when the tail rule admits it.
+        bool admissible =
+            path.size() == 1 || !options.require_name_tail ||
+            name_like.count(p) > 0;
+        if (admissible) {
+          if (triples >= options.max_triples) {
+            return Status::OutOfRange(
+                "expanded-triple budget exhausted; raise "
+                "ExpansionOptions::max_triples or lower max_length");
+          }
+          PathId pid = ekb.paths_.Intern(path);
+          ekb.by_s_[fe.origin].push_back({pid, o});
+          ++triples;
+        }
+
+        // Continue the walk through entity nodes only; literal objects are
+        // leaves. A name-like edge is terminal by construction.
+        if (round < options.max_length && kb.IsEntity(o) &&
+            name_like.count(p) == 0) {
+          PathId pid = ekb.paths_.Intern(path);
+          next.push_back({fe.origin, o, pid});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (auto& [s, vec] : ekb.by_s_) {
+    (void)s;
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+    ekb.num_triples_ += vec.size();
+  }
+  return ekb;
+}
+
+Result<ExpandedKb> ExpandedKb::BuildFromDisk(
+    const KnowledgeBase& kb, const std::string& ntriples_path,
+    const std::vector<TermId>& seeds,
+    const std::unordered_set<PredId>& name_like,
+    const ExpansionOptions& options) {
+  if (options.max_length < 1) {
+    return Status::InvalidArgument("max_length must be >= 1");
+  }
+
+  ExpandedKb ekb;
+
+  // Frontier hash index: node -> walks that currently end at it. This is
+  // the in-memory side of the paper's index+scan+join rounds; S0 is the
+  // seed set.
+  struct Walk {
+    TermId origin;
+    PathId path;  // kInvalidPath for the empty walk
+  };
+  std::unordered_map<TermId, std::vector<Walk>> frontier;
+  {
+    std::unordered_set<TermId> seen;
+    for (TermId s : seeds) {
+      if (!kb.IsEntity(s)) continue;
+      if (seen.insert(s).second) {
+        frontier[s].push_back(Walk{s, kInvalidPath});
+      }
+    }
+  }
+
+  size_t triples = 0;
+  for (int round = 1; round <= options.max_length && !frontier.empty();
+       ++round) {
+    std::unordered_map<TermId, std::vector<Walk>> next;
+    // Scan pass: stream the disk-resident KB once and join each triple's
+    // subject against the frontier index.
+    std::ifstream in(ntriples_path);
+    if (!in) {
+      return Status::IoError("cannot open KB file: " + ntriples_path);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      auto parsed = ParseNTripleLine(line);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("bad triple in " + ntriples_path +
+                                       ": " + parsed.status().message());
+      }
+      auto s = kb.LookupNode(parsed.value().subject);
+      auto p = kb.LookupPredicate(parsed.value().predicate);
+      auto o = kb.LookupNode(parsed.value().object);
+      if (!s || !p || !o) continue;  // term unknown to the dictionary
+      auto hit = frontier.find(*s);
+      if (hit == frontier.end()) continue;
+
+      for (const Walk& walk : hit->second) {
+        PredPath path;
+        if (walk.path != kInvalidPath) path = ekb.paths_.GetPath(walk.path);
+        path.push_back(*p);
+
+        bool admissible = path.size() == 1 || !options.require_name_tail ||
+                          name_like.count(*p) > 0;
+        if (admissible) {
+          if (triples >= options.max_triples) {
+            return Status::OutOfRange("expanded-triple budget exhausted");
+          }
+          ekb.by_s_[walk.origin].push_back({ekb.paths_.Intern(path), *o});
+          ++triples;
+        }
+        if (round < options.max_length && kb.IsEntity(*o) &&
+            name_like.count(*p) == 0) {
+          next[*o].push_back(Walk{walk.origin, ekb.paths_.Intern(path)});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (auto& [s, vec] : ekb.by_s_) {
+    (void)s;
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+    ekb.num_triples_ += vec.size();
+  }
+  return ekb;
+}
+
+std::span<const std::pair<PathId, TermId>> ExpandedKb::Out(TermId s) const {
+  auto it = by_s_.find(s);
+  if (it == by_s_.end()) return {};
+  return it->second;
+}
+
+std::vector<TermId> ExpandedKb::Objects(TermId s, PathId path) const {
+  std::vector<TermId> out;
+  for (const auto& [pid, o] : Out(s)) {
+    if (pid == path) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<PathId> ExpandedKb::ConnectingPaths(TermId s, TermId o) const {
+  std::vector<PathId> out;
+  for (const auto& [pid, obj] : Out(s)) {
+    if (obj == o) out.push_back(pid);
+  }
+  return out;
+}
+
+size_t ExpandedKb::NumPathsOfLength(int length) const {
+  // Count only paths that actually back at least one triple.
+  std::vector<bool> used(paths_.size(), false);
+  for (const auto& [s, vec] : by_s_) {
+    (void)s;
+    for (const auto& [pid, o] : vec) {
+      (void)o;
+      used[pid] = true;
+    }
+  }
+  size_t count = 0;
+  for (PathId id = 0; id < paths_.size(); ++id) {
+    if (used[id] && paths_.GetPath(id).size() == static_cast<size_t>(length)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t ExpandedKb::NumTriplesOfLength(int length) const {
+  size_t count = 0;
+  for (const auto& [s, vec] : by_s_) {
+    (void)s;
+    for (const auto& [pid, o] : vec) {
+      (void)o;
+      if (paths_.GetPath(pid).size() == static_cast<size_t>(length)) ++count;
+    }
+  }
+  return count;
+}
+
+void ExpandedKb::ForEachTriple(
+    const std::function<void(const ExpandedTriple&)>& fn) const {
+  for (const auto& [s, vec] : by_s_) {
+    for (const auto& [pid, o] : vec) {
+      fn(ExpandedTriple{s, pid, o});
+    }
+  }
+}
+
+std::vector<TermId> ObjectsViaPath(const KnowledgeBase& kb, TermId e,
+                                   const PredPath& path) {
+  std::vector<TermId> frontier = {e};
+  for (size_t depth = 0; depth < path.size(); ++depth) {
+    std::vector<TermId> next;
+    for (TermId node : frontier) {
+      if (kb.IsLiteral(node)) continue;
+      for (const auto& po : kb.ObjectsRange(node, path[depth])) {
+        next.push_back(po.o);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+}  // namespace kbqa::rdf

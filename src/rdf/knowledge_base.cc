@@ -1,0 +1,296 @@
+#include "rdf/knowledge_base.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace kbqa::rdf {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4b42514152444631ULL;  // "KBQARDF1"
+
+// Minimal buffered binary writer/reader for Save/Load. Little-endian only
+// (all supported platforms); sizes written as uint64.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    if (ok_ && n > 0 && std::fwrite(data, 1, n, f_) != n) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  std::string ReadString() {
+    uint64_t n = ReadU64();
+    if (!ok_ || n > (1ULL << 32)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    ReadRaw(s.data(), n);
+    return s;
+  }
+
+ private:
+  void ReadRaw(void* data, size_t n) {
+    if (ok_ && n > 0 && std::fread(data, 1, n, f_) != n) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+KnowledgeBase::KnowledgeBase() = default;
+
+TermId KnowledgeBase::AddNode(std::string_view term, bool literal) {
+  assert(!frozen_);
+  size_t before = nodes_.size();
+  TermId id = nodes_.Intern(term);
+  if (nodes_.size() > before) {
+    is_literal_.push_back(literal);
+    out_.emplace_back();
+    in_.emplace_back();
+    if (!literal) ++num_entities_;
+  } else {
+    // Re-interning with a different kind is a modeling error.
+    assert(is_literal_[id] == literal && "node kind mismatch on re-intern");
+  }
+  return id;
+}
+
+TermId KnowledgeBase::AddEntity(std::string_view iri) {
+  return AddNode(iri, /*literal=*/false);
+}
+
+TermId KnowledgeBase::AddLiteral(std::string_view value) {
+  return AddNode(value, /*literal=*/true);
+}
+
+PredId KnowledgeBase::AddPredicate(std::string_view pred) {
+  assert(!frozen_);
+  return predicates_.Intern(pred);
+}
+
+void KnowledgeBase::AddTriple(TermId s, PredId p, TermId o) {
+  assert(!frozen_);
+  assert(s < nodes_.size() && o < nodes_.size() && p < predicates_.size());
+  assert(!is_literal_[s] && "subjects must be entities");
+  out_[s].push_back({p, o});
+  in_[o].push_back({p, s});
+}
+
+void KnowledgeBase::AddTriple(std::string_view s, std::string_view p,
+                              std::string_view o, bool object_is_literal) {
+  TermId sid = AddEntity(s);
+  PredId pid = AddPredicate(p);
+  TermId oid = AddNode(o, object_is_literal);
+  AddTriple(sid, pid, oid);
+}
+
+void KnowledgeBase::Freeze() {
+  if (frozen_) return;
+  auto cmp = [](const PredicateObject& a, const PredicateObject& b) {
+    return a.p != b.p ? a.p < b.p : a.o < b.o;
+  };
+  num_triples_ = 0;
+  for (auto& adj : out_) {
+    std::sort(adj.begin(), adj.end(), cmp);
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    adj.shrink_to_fit();
+    num_triples_ += adj.size();
+  }
+  for (auto& adj : in_) {
+    std::sort(adj.begin(), adj.end(), cmp);
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    adj.shrink_to_fit();
+  }
+  if (name_predicate_ != kInvalidPred) {
+    for (TermId s = 0; s < out_.size(); ++s) {
+      for (const auto& [p, o] : ObjectsRange(s, name_predicate_)) {
+        (void)p;
+        name_index_[o].push_back(s);
+      }
+    }
+  }
+  frozen_ = true;
+}
+
+std::span<const PredicateObject> KnowledgeBase::Out(TermId s) const {
+  assert(frozen_);
+  if (s >= out_.size()) return {};
+  return out_[s];
+}
+
+std::span<const PredicateObject> KnowledgeBase::In(TermId o) const {
+  assert(frozen_);
+  if (o >= in_.size()) return {};
+  return in_[o];
+}
+
+std::span<const PredicateObject> KnowledgeBase::ObjectsRange(TermId s,
+                                                             PredId p) const {
+  // Usable pre-freeze only from Freeze() itself (adjacency already sorted).
+  if (s >= out_.size()) return {};
+  const auto& adj = out_[s];
+  auto lo = std::lower_bound(
+      adj.begin(), adj.end(), p,
+      [](const PredicateObject& e, PredId pred) { return e.p < pred; });
+  if (lo == adj.end() || lo->p != p) return {};
+  auto hi = lo;
+  while (hi != adj.end() && hi->p == p) ++hi;
+  return {&*lo, static_cast<size_t>(hi - lo)};
+}
+
+std::vector<TermId> KnowledgeBase::Objects(TermId s, PredId p) const {
+  std::vector<TermId> out;
+  for (const auto& e : ObjectsRange(s, p)) out.push_back(e.o);
+  return out;
+}
+
+bool KnowledgeBase::HasTriple(TermId s, PredId p, TermId o) const {
+  for (const auto& e : ObjectsRange(s, p)) {
+    if (e.o == o) return true;
+  }
+  return false;
+}
+
+std::vector<PredId> KnowledgeBase::ConnectingPredicates(TermId s,
+                                                        TermId o) const {
+  std::vector<PredId> preds;
+  for (const auto& e : Out(s)) {
+    if (e.o == o) preds.push_back(e.p);
+  }
+  return preds;
+}
+
+std::span<const TermId> KnowledgeBase::EntitiesByName(
+    std::string_view name) const {
+  assert(frozen_);
+  auto id = nodes_.Lookup(name);
+  if (!id) return {};
+  auto it = name_index_.find(*id);
+  if (it == name_index_.end()) return {};
+  return it->second;
+}
+
+const std::string& KnowledgeBase::EntityName(TermId e) const {
+  if (name_predicate_ != kInvalidPred) {
+    auto range = ObjectsRange(e, name_predicate_);
+    if (!range.empty()) return nodes_.GetString(range.front().o);
+  }
+  return nodes_.GetString(e);
+}
+
+std::vector<TermId> KnowledgeBase::AllEntities() const {
+  std::vector<TermId> out;
+  out.reserve(num_entities_);
+  for (TermId id = 0; id < nodes_.size(); ++id) {
+    if (!is_literal_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+Status KnowledgeBase::Save(const std::string& path) const {
+  if (!frozen_) return Status::FailedPrecondition("Save requires Freeze()");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  BinaryWriter w(f);
+  w.WriteU64(kMagic);
+  w.WriteU64(nodes_.size());
+  for (TermId id = 0; id < nodes_.size(); ++id) {
+    w.WriteString(nodes_.GetString(id));
+    w.WriteU32(is_literal_[id] ? 1 : 0);
+  }
+  w.WriteU64(predicates_.size());
+  for (PredId id = 0; id < predicates_.size(); ++id) {
+    w.WriteString(predicates_.GetString(id));
+  }
+  w.WriteU32(name_predicate_);
+  uint64_t triple_count = 0;
+  for (const auto& adj : out_) triple_count += adj.size();
+  w.WriteU64(triple_count);
+  for (TermId s = 0; s < out_.size(); ++s) {
+    for (const auto& e : out_[s]) {
+      w.WriteU32(s);
+      w.WriteU32(e.p);
+      w.WriteU32(e.o);
+    }
+  }
+  bool ok = w.ok();
+  if (std::fclose(f) != 0) ok = false;
+  return ok ? Status::Ok() : Status::IoError("short write: " + path);
+}
+
+Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  BinaryReader r(f);
+  KnowledgeBase kb;
+  if (r.ReadU64() != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint64_t num_nodes = r.ReadU64();
+  for (uint64_t i = 0; i < num_nodes && r.ok(); ++i) {
+    std::string term = r.ReadString();
+    bool literal = r.ReadU32() != 0;
+    kb.AddNode(term, literal);
+  }
+  uint64_t num_preds = r.ReadU64();
+  for (uint64_t i = 0; i < num_preds && r.ok(); ++i) {
+    kb.AddPredicate(r.ReadString());
+  }
+  uint32_t name_pred = r.ReadU32();
+  uint64_t num_triples = r.ReadU64();
+  for (uint64_t i = 0; i < num_triples && r.ok(); ++i) {
+    TermId s = r.ReadU32();
+    PredId p = r.ReadU32();
+    TermId o = r.ReadU32();
+    if (s >= kb.nodes_.size() || p >= kb.predicates_.size() ||
+        o >= kb.nodes_.size()) {
+      std::fclose(f);
+      return Status::Corruption("triple id out of range in " + path);
+    }
+    kb.AddTriple(s, p, o);
+  }
+  bool ok = r.ok();
+  std::fclose(f);
+  if (!ok) return Status::Corruption("short read: " + path);
+  if (name_pred != kInvalidPred && name_pred >= kb.predicates_.size()) {
+    return Status::Corruption("name predicate out of range in " + path);
+  }
+  kb.name_predicate_ = name_pred;
+  kb.Freeze();
+  return kb;
+}
+
+}  // namespace kbqa::rdf

@@ -1,0 +1,198 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace kbqa::rdf {
+
+namespace {
+
+std::string EscapeLiteral(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Reads an angle-bracketed term starting at `pos`; advances `pos` past it.
+Result<std::string> ReadIri(const std::string& line, size_t* pos) {
+  if (*pos >= line.size() || line[*pos] != '<') {
+    return Status::InvalidArgument("expected '<' at column " +
+                                   std::to_string(*pos));
+  }
+  size_t close = line.find('>', *pos + 1);
+  if (close == std::string::npos) {
+    return Status::InvalidArgument("unterminated IRI");
+  }
+  std::string iri = line.substr(*pos + 1, close - *pos - 1);
+  if (iri.empty()) return Status::InvalidArgument("empty IRI");
+  *pos = close + 1;
+  return iri;
+}
+
+/// Reads a quoted literal with escapes starting at `pos`.
+Result<std::string> ReadLiteral(const std::string& line, size_t* pos) {
+  std::string out;
+  for (size_t i = *pos + 1; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) {
+        return Status::InvalidArgument("dangling escape");
+      }
+      char next = line[++i];
+      switch (next) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        default:
+          return Status::InvalidArgument(std::string("bad escape \\") + next);
+      }
+    } else if (c == '"') {
+      *pos = i + 1;
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return Status::InvalidArgument("unterminated literal");
+}
+
+void SkipSpace(const std::string& line, size_t* pos) {
+  while (*pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+}
+
+}  // namespace
+
+Result<NTriple> ParseNTripleLine(const std::string& line) {
+  NTriple triple;
+  size_t pos = 0;
+  SkipSpace(line, &pos);
+
+  auto subject = ReadIri(line, &pos);
+  if (!subject.ok()) return subject.status();
+  triple.subject = std::move(subject).value();
+  SkipSpace(line, &pos);
+
+  auto predicate = ReadIri(line, &pos);
+  if (!predicate.ok()) return predicate.status();
+  triple.predicate = std::move(predicate).value();
+  SkipSpace(line, &pos);
+
+  if (pos >= line.size()) return Status::InvalidArgument("missing object");
+  if (line[pos] == '"') {
+    auto literal = ReadLiteral(line, &pos);
+    if (!literal.ok()) return literal.status();
+    triple.object = std::move(literal).value();
+    triple.object_is_literal = true;
+  } else {
+    auto object = ReadIri(line, &pos);
+    if (!object.ok()) return object.status();
+    triple.object = std::move(object).value();
+  }
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] != '.') {
+    return Status::InvalidArgument("missing terminating '.'");
+  }
+  ++pos;
+  SkipSpace(line, &pos);
+  if (pos != line.size()) {
+    return Status::InvalidArgument("trailing content after '.'");
+  }
+  return triple;
+}
+
+std::string FormatNTripleLine(const NTriple& triple) {
+  std::string out = "<" + triple.subject + "> <" + triple.predicate + "> ";
+  if (triple.object_is_literal) {
+    out += "\"" + EscapeLiteral(triple.object) + "\"";
+  } else {
+    out += "<" + triple.object + ">";
+  }
+  out += " .";
+  return out;
+}
+
+Status ExportNTriples(const KnowledgeBase& kb, const std::string& path) {
+  if (!kb.frozen()) {
+    return Status::FailedPrecondition("ExportNTriples requires Freeze()");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# exported by kbqa rdf::ExportNTriples — " << kb.num_triples()
+      << " triples\n";
+  for (TermId s = 0; s < kb.num_nodes(); ++s) {
+    if (kb.IsLiteral(s)) continue;
+    for (const auto& [p, o] : kb.Out(s)) {
+      NTriple triple;
+      triple.subject = kb.NodeString(s);
+      triple.predicate = kb.PredicateString(p);
+      triple.object = kb.NodeString(o);
+      triple.object_is_literal = kb.IsLiteral(o);
+      out << FormatNTripleLine(triple) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<KnowledgeBase> ImportNTriples(const std::string& path,
+                                     const std::string& name_predicate) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  KnowledgeBase kb;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto triple = ParseNTripleLine(line);
+    if (!triple.ok()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": " +
+          triple.status().message());
+    }
+    kb.AddTriple(triple.value().subject, triple.value().predicate,
+                 triple.value().object, triple.value().object_is_literal);
+  }
+  auto name_pred = kb.LookupPredicate(name_predicate);
+  if (name_pred) kb.SetNamePredicate(*name_pred);
+  kb.Freeze();
+  return kb;
+}
+
+}  // namespace kbqa::rdf

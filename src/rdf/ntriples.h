@@ -1,0 +1,44 @@
+#ifndef KBQA_RDF_NTRIPLES_H_
+#define KBQA_RDF_NTRIPLES_H_
+
+#include <string>
+
+#include "rdf/knowledge_base.h"
+#include "util/status.h"
+
+namespace kbqa::rdf {
+
+/// N-Triples-style text interchange for the knowledge base, so real RDF
+/// dumps (DBpedia extracts etc.) can be loaded and generated worlds can be
+/// inspected with standard text tools.
+///
+/// Dialect: one triple per line,
+///   <subject-iri> <predicate> "literal object" .
+///   <subject-iri> <predicate> <object-iri> .
+/// '#'-prefixed lines and blank lines are skipped. Literals support the
+/// escapes \" \\ \n \t. IRIs are free-form strings without whitespace or
+/// angle brackets (the library's node strings are not required to be true
+/// IRIs).
+
+/// Writes a frozen KB as N-Triples text.
+Status ExportNTriples(const KnowledgeBase& kb, const std::string& path);
+
+/// Parses an N-Triples file into a fresh, frozen knowledge base.
+/// `name_predicate` (default "name") is declared as the KB's name
+/// predicate when it occurs in the data.
+Result<KnowledgeBase> ImportNTriples(const std::string& path,
+                                     const std::string& name_predicate = "name");
+
+/// Single-line parse/format helpers (exposed for tests and tooling).
+struct NTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  bool object_is_literal = false;
+};
+Result<NTriple> ParseNTripleLine(const std::string& line);
+std::string FormatNTripleLine(const NTriple& triple);
+
+}  // namespace kbqa::rdf
+
+#endif  // KBQA_RDF_NTRIPLES_H_

@@ -1,0 +1,84 @@
+#ifndef KBQA_RDF_QUERY_H_
+#define KBQA_RDF_QUERY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/knowledge_base.h"
+#include "util/status.h"
+
+namespace kbqa::rdf {
+
+/// A term in a triple pattern: either a variable ("?x") or a bound node
+/// (entity IRI or quoted literal).
+struct PatternTerm {
+  bool is_variable = false;
+  /// Variable name without '?', or the node's string form.
+  std::string text;
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+};
+
+/// One `s p o` pattern. The predicate is always bound by name — KBQA's
+/// structured queries never need predicate variables, and fixing this keeps
+/// evaluation index-friendly.
+struct TriplePattern {
+  PatternTerm subject;
+  std::string predicate;
+  PatternTerm object;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) =
+      default;
+};
+
+/// A conjunctive SELECT query over the triple store.
+struct Query {
+  std::vector<std::string> select;  // variable names, no '?'
+  std::vector<TriplePattern> where;
+};
+
+/// One result row: values of the SELECT variables, in SELECT order.
+using QueryRow = std::vector<TermId>;
+
+/// Evaluation statistics (exposed for the planner tests and benchmarks).
+struct QueryStats {
+  size_t patterns_evaluated = 0;
+  size_t bindings_produced = 0;
+  size_t index_lookups = 0;
+  size_t full_scans = 0;
+};
+
+/// Parses the SPARQL-like surface syntax KBQA emits:
+///
+///   SELECT ?wife WHERE { person/a marriage ?m . ?m person ?p .
+///                        ?p name ?wife }
+///
+/// Terms are whitespace-separated; literals with spaces are double-quoted
+/// ("barack obama"); patterns are separated by '.'. Case-sensitive keywords
+/// SELECT / WHERE.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Serializes a query back to the surface syntax (stable round-trip).
+std::string QueryToString(const Query& query);
+
+/// Evaluates `query` against a frozen knowledge base by nested-loop join
+/// with greedy most-bound-first pattern ordering: patterns whose subject or
+/// object is already bound run on the adjacency indexes; a pattern with
+/// neither side bound falls back to a full predicate scan.
+///
+/// Unknown node names yield an empty result (not an error) — the usual
+/// SPARQL semantics. Unknown predicates likewise.
+Result<std::vector<QueryRow>> ExecuteQuery(const KnowledgeBase& kb,
+                                           const Query& query,
+                                           QueryStats* stats = nullptr);
+
+/// Builds the structured query for a BFQ answer: entity `e` followed
+/// through predicate path `path` to the answer variable ?v — the query
+/// KBQA "maps the question to" (§1).
+Query BuildPathQuery(const KnowledgeBase& kb, TermId e,
+                     const std::vector<PredId>& path);
+
+}  // namespace kbqa::rdf
+
+#endif  // KBQA_RDF_QUERY_H_

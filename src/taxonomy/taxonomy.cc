@@ -1,0 +1,100 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace kbqa::taxonomy {
+
+namespace {
+
+void NormalizeAndSort(std::vector<ScoredCategory>& cats) {
+  double total = 0;
+  for (const auto& sc : cats) total += sc.probability;
+  if (total > 0) {
+    for (auto& sc : cats) sc.probability /= total;
+  }
+  std::sort(cats.begin(), cats.end(),
+            [](const ScoredCategory& a, const ScoredCategory& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.category < b.category;
+            });
+}
+
+}  // namespace
+
+CategoryId Taxonomy::AddCategory(std::string_view name) {
+  CategoryId id = names_.Intern(name);
+  if (id >= affinities_.size()) affinities_.resize(id + 1);
+  return id;
+}
+
+void Taxonomy::AddEntityCategory(rdf::TermId entity, CategoryId category,
+                                 double weight) {
+  assert(category < names_.size());
+  assert(weight > 0);
+  auto& cats = entity_categories_[entity];
+  for (auto& [c, w] : cats) {
+    if (c == category) {
+      w += weight;
+      return;
+    }
+  }
+  cats.emplace_back(category, weight);
+}
+
+void Taxonomy::AddContextAffinity(CategoryId category, std::string_view word,
+                                  double affinity) {
+  assert(category < affinities_.size());
+  assert(affinity >= 0);
+  affinities_[category][ToLower(word)] += affinity;
+}
+
+std::vector<ScoredCategory> Taxonomy::CategoriesOf(rdf::TermId entity) const {
+  std::vector<ScoredCategory> out;
+  auto it = entity_categories_.find(entity);
+  if (it == entity_categories_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [c, w] : it->second) out.push_back({c, w});
+  NormalizeAndSort(out);
+  return out;
+}
+
+std::vector<ScoredCategory> Taxonomy::Conceptualize(
+    rdf::TermId entity, std::span<const std::string> context_tokens) const {
+  std::vector<ScoredCategory> out = CategoriesOf(entity);
+  if (out.size() <= 1 || context_tokens.empty()) return out;
+
+  for (auto& sc : out) {
+    const auto& affinity_map = affinities_[sc.category];
+    double boost = 1.0;
+    for (const std::string& raw : context_tokens) {
+      auto hit = affinity_map.find(ToLower(raw));
+      if (hit != affinity_map.end()) boost *= 1.0 + hit->second;
+    }
+    sc.probability *= boost;
+  }
+  NormalizeAndSort(out);
+  return out;
+}
+
+std::vector<rdf::TermId> Taxonomy::EntitiesWithCategory(
+    CategoryId category) const {
+  std::vector<rdf::TermId> out;
+  for (const auto& [entity, cats] : entity_categories_) {
+    for (const auto& [c, w] : cats) {
+      (void)w;
+      if (c == category) {
+        out.push_back(entity);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kbqa::taxonomy

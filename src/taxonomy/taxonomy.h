@@ -1,0 +1,98 @@
+#ifndef KBQA_TAXONOMY_TAXONOMY_H_
+#define KBQA_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace kbqa::taxonomy {
+
+/// Dense category identifier ("$city", "$person", ...).
+using CategoryId = uint32_t;
+inline constexpr CategoryId kInvalidCategory =
+    std::numeric_limits<CategoryId>::max();
+
+/// A category with its conceptualization probability.
+struct ScoredCategory {
+  CategoryId category;
+  double probability;
+
+  friend bool operator==(const ScoredCategory&, const ScoredCategory&) =
+      default;
+};
+
+/// Concept taxonomy — the substrate standing in for Probase [32].
+///
+/// Stores (a) the category system, (b) per-entity category priors P(c|e),
+/// and (c) a context model: affinities between categories and context words
+/// that implement *context-aware conceptualization* [25]: P(c|q,e) ∝
+/// P(c|e) · Π_w (1 + affinity(c, w)) over the question's non-entity tokens.
+/// This is what disambiguates "apple" to $company in "what is the
+/// headquarter of apple?" — "headquarter" carries a $company affinity.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+  Taxonomy(const Taxonomy&) = delete;
+  Taxonomy& operator=(const Taxonomy&) = delete;
+  Taxonomy(Taxonomy&&) = default;
+  Taxonomy& operator=(Taxonomy&&) = default;
+
+  /// Interns a category by display name (convention: leading '$').
+  CategoryId AddCategory(std::string_view name);
+
+  /// Registers `weight` of evidence that `entity` belongs to `category`.
+  /// P(c|e) is the normalized weight vector. Accumulates on repeat calls.
+  void AddEntityCategory(rdf::TermId entity, CategoryId category,
+                         double weight);
+
+  /// Registers a context-word affinity for `category` (non-negative).
+  /// Words are matched lowercase-exact against question tokens.
+  void AddContextAffinity(CategoryId category, std::string_view word,
+                          double affinity);
+
+  /// P(c|e): the entity's categories with normalized prior probabilities,
+  /// sorted by descending probability (ties broken by CategoryId).
+  std::vector<ScoredCategory> CategoriesOf(rdf::TermId entity) const;
+
+  /// Context-aware conceptualization P(c|q,e): priors reweighted by the
+  /// context tokens (the question minus the entity mention), normalized,
+  /// sorted descending. Falls back to CategoriesOf when no token matches.
+  std::vector<ScoredCategory> Conceptualize(
+      rdf::TermId entity, std::span<const std::string> context_tokens) const;
+
+  const std::string& CategoryName(CategoryId id) const {
+    return names_.GetString(id);
+  }
+  std::optional<CategoryId> LookupCategory(std::string_view name) const {
+    return names_.Lookup(name);
+  }
+  size_t num_categories() const { return names_.size(); }
+
+  /// True when the entity has at least one category.
+  bool HasCategories(rdf::TermId entity) const {
+    return entity_categories_.count(entity) > 0;
+  }
+
+  /// All entities carrying `category` (any weight), sorted by id. Linear in
+  /// the taxonomy size; used by the question-variant solver's per-category
+  /// scans, not by the online BFQ path.
+  std::vector<rdf::TermId> EntitiesWithCategory(CategoryId category) const;
+
+ private:
+  rdf::Dictionary names_;
+  std::unordered_map<rdf::TermId, std::vector<std::pair<CategoryId, double>>>
+      entity_categories_;
+  // affinities_[category][word] = affinity weight.
+  std::vector<std::unordered_map<std::string, double>> affinities_;
+};
+
+}  // namespace kbqa::taxonomy
+
+#endif  // KBQA_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,88 @@
+#ifndef KBQA_UTIL_DISTRIBUTIONS_H_
+#define KBQA_UTIL_DISTRIBUTIONS_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kbqa {
+
+/// Zipf sampler with a precomputed CDF. O(n) construction, O(log n) per
+/// sample. Use when drawing many samples from the same (n, s) distribution —
+/// e.g. entity popularity in the synthetic world generator.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  /// Draws an index in [0, n).
+  size_t Sample(Rng& rng) const {
+    double r = rng.UniformDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Discrete sampler over arbitrary non-negative weights with a precomputed
+/// CDF. O(log n) per sample.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights)
+      : cdf_(weights.size()) {
+    assert(!weights.empty());
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      assert(weights[i] >= 0);
+      acc += weights[i];
+      cdf_[i] = acc;
+    }
+    assert(acc > 0);
+    for (double& c : cdf_) c /= acc;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double r = rng.UniformDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kbqa
+
+#endif  // KBQA_UTIL_DISTRIBUTIONS_H_

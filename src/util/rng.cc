@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace kbqa {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last item.
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  assert(s > 0);
+  // Harmonic normalization; n is generator-scale (<= ~1e6) so a scan is fine.
+  double h = 0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double r = UniformDouble() * h;
+  double acc = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (r < acc) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace kbqa

@@ -1,0 +1,58 @@
+#ifndef KBQA_UTIL_STRINGS_H_
+#define KBQA_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kbqa {
+
+/// Splits `text` on `sep`; consecutive separators yield empty pieces unless
+/// `skip_empty` is set.
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool skip_empty = false);
+
+/// Splits on ASCII whitespace runs; never yields empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+/// Joins the range [begin, end) of `pieces` with `sep`.
+std::string JoinRange(const std::vector<std::string>& pieces, size_t begin,
+                      size_t end, std::string_view sep);
+
+/// ASCII-lowercases a copy of `text`.
+std::string ToLower(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True when `needle` occurs in `haystack`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// True when every character is an ASCII digit (and text is non-empty).
+bool IsNumber(std::string_view text);
+
+/// Parses a non-negative integer; returns -1 on malformed input.
+long long ParseNonNegativeInt(std::string_view text);
+
+/// 64-bit FNV-1a hash of `text`. Stable across platforms; used for
+/// dictionary bucketing and deterministic tie-breaking.
+uint64_t HashString(std::string_view text);
+
+/// Combines two 64-bit hashes (boost::hash_combine-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace kbqa
+
+#endif  // KBQA_UTIL_STRINGS_H_

@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace kbqa {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  assert(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " | ";
+    }
+    os << '\n';
+  };
+
+  os << '\n' << title_ << '\n';
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  os << std::string(total, '-') << '\n';
+  print_row(header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << std::string(total, '-') << '\n';
+}
+
+}  // namespace kbqa

@@ -1,0 +1,40 @@
+#ifndef KBQA_UTIL_TABLE_PRINTER_H_
+#define KBQA_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kbqa {
+
+/// Aligned plain-text table writer used by the benchmark harness to print
+/// rows in the shape of the paper's tables. Columns are sized to content;
+/// numeric formatting is the caller's responsibility (pass strings).
+class TablePrinter {
+ public:
+  /// `title` is printed above the table, e.g. "Table 7: Results on QALD-5".
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 2);
+  /// Formats an integer.
+  static std::string Int(long long v);
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kbqa
+
+#endif  // KBQA_UTIL_TABLE_PRINTER_H_

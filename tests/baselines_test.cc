@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+
+namespace kbqa::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const eval::Experiment* const kExperiment = [] {
+      auto built = eval::Experiment::Build(eval::ExperimentConfig::Small());
+      if (!built.ok()) {
+        ADD_FAILURE() << "experiment build failed: " << built.status();
+        return static_cast<eval::Experiment*>(nullptr);
+      }
+      return const_cast<eval::Experiment*>(
+          std::move(built).value().release());
+    }();
+    return *kExperiment;
+  }
+};
+
+// ---------- Synonym lexicon (bootstrapping) ----------
+
+TEST_F(BaselinesTest, LexiconLearnsPredicatePhrases) {
+  const SynonymLexicon& lexicon = experiment().lexicon();
+  EXPECT_GT(lexicon.num_patterns(), 20u);
+  EXPECT_GT(lexicon.num_predicates(), 5u);
+  // The canonical BOA pattern: "the population of <city> is <value>" puts
+  // "is" between; "<value> is the population of <city>" puts "is the
+  // population of" between.
+  auto entry = lexicon.Lookup("is the population of");
+  ASSERT_TRUE(entry.has_value());
+  const auto& path =
+      experiment().kbqa().expanded_kb().paths().GetPath(entry->path);
+  EXPECT_EQ(experiment().world().kb.PredicateString(path.front()),
+            "population");
+}
+
+TEST_F(BaselinesTest, LexiconUnknownPhrase) {
+  EXPECT_FALSE(experiment().lexicon().Lookup("zzz unknown zzz").has_value());
+}
+
+// ---------- Rule QA ----------
+
+TEST_F(BaselinesTest, RuleQaAnswersCanonicalFrame) {
+  core::AnswerResult result =
+      experiment().rule_qa().Answer("what is the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "390000");
+}
+
+TEST_F(BaselinesTest, RuleQaFailsNonCanonicalPhrasing) {
+  EXPECT_FALSE(experiment()
+                   .rule_qa()
+                   .Answer("how many people are there in honolulu")
+                   .answered);
+  EXPECT_FALSE(
+      experiment().rule_qa().Answer("who is the wife of barack obama")
+          .answered);  // "wife" names no predicate
+}
+
+// ---------- Keyword QA ----------
+
+TEST_F(BaselinesTest, KeywordQaAnswersWhenWordingMatchesPredicate) {
+  core::AnswerResult result =
+      experiment().keyword_qa().Answer("tell me the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "390000");
+}
+
+TEST_F(BaselinesTest, KeywordQaFailsHolisticPhrasing) {
+  // The paper's a©: no keyword matches "population".
+  EXPECT_FALSE(experiment()
+                   .keyword_qa()
+                   .Answer("how many people are there in honolulu")
+                   .answered);
+}
+
+TEST_F(BaselinesTest, KeywordQaHandlesSuperlatives) {
+  core::AnswerResult result = experiment().keyword_qa().Answer(
+      "which city has the largest population");
+  ASSERT_TRUE(result.answered);
+  // The generated gold for the same question agrees (checked via the
+  // benchmark path in eval tests); here: a non-empty entity name.
+  EXPECT_FALSE(result.value.empty());
+}
+
+// ---------- Synonym QA ----------
+
+TEST_F(BaselinesTest, SynonymQaAnswersLexiconPhrasing) {
+  core::AnswerResult result =
+      experiment().synonym_qa().Answer("what is the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "390000");
+}
+
+TEST_F(BaselinesTest, SynonymQaFailsHolisticPhrasing) {
+  // DEANNA's documented failure on a© — no contiguous synonym phrase.
+  EXPECT_FALSE(experiment()
+                   .synonym_qa()
+                   .Answer("how many people are there in honolulu")
+                   .answered);
+}
+
+// ---------- Graph QA ----------
+
+TEST_F(BaselinesTest, GraphQaAnswersKeywordBackedQuestion) {
+  core::AnswerResult result =
+      experiment().graph_qa().Answer("what is the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "390000");
+}
+
+TEST_F(BaselinesTest, GraphQaDeclinesWithoutEvidence) {
+  EXPECT_FALSE(experiment().graph_qa().Answer("hello world").answered);
+}
+
+// ---------- Comparative shape (who wins) ----------
+
+TEST_F(BaselinesTest, KbqaRecallBeatsAllBaselinesOnBfqs) {
+  corpus::BenchmarkConfig config;
+  config.num_questions = 80;
+  config.bfq_ratio = 1.0;
+  config.seed = 777;
+  // Compare representation coverage on phrasings that occurred in training
+  // data; fully unseen phrasings are measured separately in the
+  // integration suite (UnseenParaphrasesReduceButDontKillRecall).
+  config.unseen_paraphrase_rate = 0.1;
+  corpus::BenchmarkSet bfqs =
+      corpus::GenerateBenchmark(experiment().world(), config);
+
+  eval::RunResult kbqa = eval::RunBenchmark(experiment().kbqa(), bfqs);
+  for (const core::QaSystemInterface* baseline : experiment().Baselines()) {
+    eval::RunResult run = eval::RunBenchmark(*baseline, bfqs);
+    EXPECT_GE(kbqa.counts.R(), run.counts.R())
+        << "KBQA should recall at least as much as " << baseline->name();
+  }
+}
+
+}  // namespace
+}  // namespace kbqa::baselines

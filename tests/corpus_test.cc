@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/name_generator.h"
+#include "corpus/qa_generator.h"
+#include "corpus/schema.h"
+#include "corpus/world_generator.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "rdf/expanded_predicate.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kbqa::corpus {
+namespace {
+
+// ---------- NameGenerator ----------
+
+TEST(NameGeneratorTest, DeterministicForSameState) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(NameGenerator::Generate(a, NameStyle::kPerson),
+              NameGenerator::Generate(b, NameStyle::kPerson));
+  }
+}
+
+TEST(NameGeneratorTest, StylesProduceExpectedShapes) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    std::string person = NameGenerator::Generate(rng, NameStyle::kPerson);
+    EXPECT_NE(person.find(' '), std::string::npos) << person;
+    std::string river = NameGenerator::Generate(rng, NameStyle::kRiver);
+    EXPECT_TRUE(river.ends_with(" river")) << river;
+    std::string band = NameGenerator::Generate(rng, NameStyle::kBand);
+    EXPECT_TRUE(band.starts_with("the ")) << band;
+    EXPECT_TRUE(band.ends_with("s")) << band;
+  }
+}
+
+TEST(NameGeneratorTest, NamesAreLowercaseTokens) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string name = NameGenerator::Generate(rng, NameStyle::kCompany);
+    EXPECT_EQ(nlp::NormalizeText(name), name) << name;
+  }
+}
+
+// ---------- Schema ----------
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Schema::Standard();
+};
+
+TEST_F(SchemaTest, HasAllTypes) {
+  for (const char* type : {"person", "city", "country", "company", "book",
+                           "band", "film", "river", "university", "fruit"}) {
+    EXPECT_GE(schema_.TypeIndex(type), 0) << type;
+  }
+  EXPECT_EQ(schema_.TypeIndex("dragon"), -1);
+}
+
+TEST_F(SchemaTest, GenericIntentsScaleTheSchema) {
+  // 10 types x (12 attributes + 4 relations) on top of the hand-authored
+  // core.
+  EXPECT_GT(schema_.intents().size(), 150u);
+  SchemaConfig tiny;
+  tiny.generic_attributes_per_type = 0;
+  tiny.generic_relations_per_type = 0;
+  Schema bare = Schema::Standard(tiny);
+  EXPECT_LT(bare.intents().size(), 50u);
+  EXPECT_GT(bare.intents().size(), 35u);
+}
+
+TEST_F(SchemaTest, IntentsOfTypePartitionIntents) {
+  size_t total = 0;
+  for (int t = 0; t < static_cast<int>(schema_.types().size()); ++t) {
+    total += schema_.IntentsOfType(t).size();
+  }
+  EXPECT_EQ(total, schema_.intents().size());
+}
+
+TEST_F(SchemaTest, PaperIntentsExist) {
+  for (const char* name :
+       {"city.population", "person.dob", "person.spouse", "country.capital",
+        "company.ceo", "band.members", "book.author"}) {
+    EXPECT_GE(schema_.IntentIndex(name), 0) << name;
+  }
+}
+
+TEST_F(SchemaTest, SpouseIsCvtPath) {
+  const IntentSpec& spouse =
+      schema_.intents()[schema_.IntentIndex("person.spouse")];
+  EXPECT_EQ(spouse.path,
+            (std::vector<std::string>{"marriage", "person", "name"}));
+  EXPECT_TRUE(spouse.is_relation());
+  EXPECT_EQ(spouse.keyword, "wife");
+}
+
+/// Property sweep: every intent of the standard schema is well-formed.
+class IntentPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const Schema& schema() {
+    static const Schema* const kSchema = new Schema(Schema::Standard());
+    return *kSchema;
+  }
+};
+
+TEST_P(IntentPropertyTest, IntentIsWellFormed) {
+  const IntentSpec& intent = schema().intents()[GetParam()];
+  EXPECT_FALSE(intent.name.empty());
+  EXPECT_GE(intent.entity_type, 0);
+  EXPECT_LT(intent.entity_type, static_cast<int>(schema().types().size()));
+  EXPECT_FALSE(intent.path.empty());
+  EXPECT_LE(intent.path.size(), 3u);
+  EXPECT_FALSE(intent.keyword.empty());
+  EXPECT_GE(intent.min_fanout, 1);
+  EXPECT_LE(intent.min_fanout, intent.max_fanout);
+  EXPECT_GT(intent.popularity, 0);
+
+  if (intent.is_relation()) {
+    EXPECT_EQ(intent.path.back(), "name");
+    EXPECT_LT(intent.target_type, static_cast<int>(schema().types().size()));
+  } else {
+    EXPECT_EQ(intent.path.size(), 1u);
+    if (intent.value_kind == ValueKind::kWord) {
+      EXPECT_FALSE(intent.word_values.empty());
+    } else {
+      EXPECT_LE(intent.min_value, intent.max_value);
+    }
+  }
+
+  // Paraphrases: at least one training + every pattern carries the slot.
+  bool has_train = false;
+  for (const Paraphrase& p : intent.paraphrases) {
+    EXPECT_NE(p.pattern.find("$e"), std::string::npos) << p.pattern;
+    EXPECT_GT(p.weight, 0);
+    has_train = has_train || p.train;
+  }
+  EXPECT_TRUE(has_train) << intent.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntents, IntentPropertyTest,
+    ::testing::Range(0,
+                     static_cast<int>(Schema::Standard().intents().size())));
+
+// ---------- World generation ----------
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World* const kWorld = [] {
+      WorldConfig config;
+      config.schema.scale = 0.05;
+      config.schema.generic_attributes_per_type = 2;
+      config.schema.generic_relations_per_type = 2;
+      return new World(GenerateWorld(config));
+    }();
+    return *kWorld;
+  }
+};
+
+TEST_F(WorldTest, KbIsFrozenAndPopulated) {
+  EXPECT_TRUE(world().kb.frozen());
+  EXPECT_GT(world().kb.num_triples(), 1000u);
+  EXPECT_GT(world().kb.num_entities(), 100u);
+  EXPECT_GT(world().taxonomy.num_categories(), 10u);
+}
+
+TEST_F(WorldTest, FamousEntitiesAreWired) {
+  rdf::TermId obama = world().FamousByName("barack obama");
+  ASSERT_NE(obama, rdf::kInvalidTerm);
+  // dob = 1961 via the fact catalog.
+  int dob = world().schema.IntentIndex("person.dob");
+  const auto* values = world().FactValues(dob, obama);
+  ASSERT_NE(values, nullptr);
+  EXPECT_EQ(world().ValueSurface((*values)[0]), "1961");
+  // Spouse via the marriage CVT in the raw KB.
+  auto marriage = world().kb.LookupPredicate("marriage");
+  auto person = world().kb.LookupPredicate("person");
+  auto name = world().kb.LookupPredicate("name");
+  ASSERT_TRUE(marriage && person && name);
+  auto spouses = rdf::ObjectsViaPath(world().kb, obama,
+                                     {*marriage, *person, *name});
+  ASSERT_EQ(spouses.size(), 1u);
+  EXPECT_EQ(world().kb.NodeString(spouses[0]), "michelle obama");
+}
+
+TEST_F(WorldTest, EntityCountsMatchSchema) {
+  for (size_t t = 0; t < world().schema.types().size(); ++t) {
+    // Generated entities plus any famous seeds of that type.
+    EXPECT_GE(world().entities_by_type[t].size(),
+              world().schema.types()[t].count);
+  }
+}
+
+TEST_F(WorldTest, PolysemousNamesExist) {
+  int fruit = world().schema.TypeIndex("fruit");
+  int company = world().schema.TypeIndex("company");
+  size_t shared = 0;
+  for (rdf::TermId f : world().entities_by_type[fruit]) {
+    auto with_name = world().kb.EntitiesByName(world().kb.EntityName(f));
+    for (rdf::TermId other : with_name) {
+      for (rdf::TermId c : world().entities_by_type[company]) {
+        if (other == c) ++shared;
+      }
+    }
+  }
+  EXPECT_GE(shared, 1u);
+}
+
+TEST_F(WorldTest, AliasesAreNameLikeAndWellFormed) {
+  // The alias predicate exists, is name-like (expansion tail rule), and no
+  // alias is a stopword or trivially short.
+  auto alias = world().kb.LookupPredicate("alias");
+  ASSERT_TRUE(alias.has_value());
+  EXPECT_EQ(world().alias_predicates,
+            (std::vector<rdf::PredId>{*alias}));
+  EXPECT_TRUE(world().name_like.count(*alias) > 0);
+  size_t aliases = 0;
+  for (rdf::TermId e : world().kb.AllEntities()) {
+    for (const auto& po : world().kb.ObjectsRange(e, *alias)) {
+      const std::string& text = world().kb.NodeString(po.o);
+      EXPECT_GT(text.size(), 3u);
+      EXPECT_FALSE(nlp::IsStopword(text)) << text;
+      ++aliases;
+    }
+  }
+  EXPECT_GT(aliases, 5u);
+}
+
+TEST_F(WorldTest, PredicateClassesLabeled) {
+  auto population = world().kb.LookupPredicate("population");
+  ASSERT_TRUE(population.has_value());
+  EXPECT_EQ(world().predicate_class.at(*population),
+            nlp::QuestionClass::kNumeric);
+  auto person = world().kb.LookupPredicate("person");
+  ASSERT_TRUE(person.has_value());
+  EXPECT_EQ(world().predicate_class.at(*person), nlp::QuestionClass::kHuman);
+  // The name predicate is transparent — never labeled.
+  EXPECT_EQ(world().predicate_class.count(world().kb.name_predicate()), 0u);
+}
+
+TEST_F(WorldTest, InfoboxCoversFamousFacts) {
+  rdf::TermId honolulu = world().FamousByName("honolulu");
+  ASSERT_NE(honolulu, rdf::kInvalidTerm);
+  auto pop_lit = world().kb.LookupNode("390000");
+  ASSERT_TRUE(pop_lit.has_value());
+  EXPECT_TRUE(world().infobox.Contains(honolulu, *pop_lit));
+  EXPECT_GT(world().infobox.num_facts(), world().infobox.num_subjects());
+}
+
+TEST_F(WorldTest, DeterministicAcrossRuns) {
+  WorldConfig config;
+  config.schema.scale = 0.02;
+  World w1 = GenerateWorld(config);
+  World w2 = GenerateWorld(config);
+  EXPECT_EQ(w1.kb.num_triples(), w2.kb.num_triples());
+  EXPECT_EQ(w1.kb.num_entities(), w2.kb.num_entities());
+  // Spot-check a generated entity's name.
+  int city = w1.schema.TypeIndex("city");
+  rdf::TermId e1 = w1.entities_by_type[city].back();
+  rdf::TermId e2 = w2.entities_by_type[city].back();
+  EXPECT_EQ(w1.kb.EntityName(e1), w2.kb.EntityName(e2));
+}
+
+TEST_F(WorldTest, MissingRateCreatesIncompleteness) {
+  WorldConfig config;
+  config.schema.scale = 0.05;
+  config.fact_missing_rate = 0.5;
+  World sparse = GenerateWorld(config);
+  WorldConfig full_config = config;
+  full_config.fact_missing_rate = 0.0;
+  World full = GenerateWorld(full_config);
+  EXPECT_LT(sparse.kb.num_triples(), full.kb.num_triples());
+}
+
+// ---------- QA generation ----------
+
+class QaGenTest : public WorldTest {
+ protected:
+  static const QaCorpus& corpus() {
+    static const QaCorpus* const kCorpus = [] {
+      QaGenConfig config;
+      config.num_pairs = 2000;
+      return new QaCorpus(GenerateTrainingCorpus(world(), config));
+    }();
+    return *kCorpus;
+  }
+};
+
+TEST_F(QaGenTest, GeneratesRequestedCount) {
+  EXPECT_EQ(corpus().size(), 2000u);
+  EXPECT_EQ(corpus().gold.size(), 2000u);
+}
+
+TEST_F(QaGenTest, GoldAnswersAreConsistent) {
+  size_t checked = 0;
+  for (size_t i = 0; i < corpus().size(); ++i) {
+    const QaGold& gold = corpus().gold[i];
+    if (!gold.is_bfq) continue;
+    // The question mentions the entity's name.
+    std::string question = corpus().pairs[i].question;
+    EXPECT_NE(question.find(world().kb.EntityName(gold.entity)),
+              std::string::npos)
+        << question;
+    if (gold.answer_contains_value) {
+      EXPECT_NE(corpus().pairs[i].answer.find(gold.value_string),
+                std::string::npos)
+          << corpus().pairs[i].answer << " / " << gold.value_string;
+    }
+    // The gold value really is a KB fact.
+    const auto* values = world().FactValues(gold.intent, gold.entity);
+    ASSERT_NE(values, nullptr);
+    bool found = false;
+    for (rdf::TermId v : *values) found = found || (v == gold.value);
+    EXPECT_TRUE(found);
+    ++checked;
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_F(QaGenTest, ChitchatFractionRoughlyHonored) {
+  size_t chitchat = 0;
+  for (const QaGold& gold : corpus().gold) {
+    chitchat += (gold.kind == "chitchat");
+  }
+  double fraction = static_cast<double>(chitchat) / corpus().size();
+  EXPECT_NEAR(fraction, 0.10, 0.04);
+}
+
+TEST_F(QaGenTest, TrainingUsesOnlyTrainingParaphrases) {
+  for (size_t i = 0; i < corpus().size(); ++i) {
+    const QaGold& gold = corpus().gold[i];
+    if (!gold.is_bfq) continue;
+    const IntentSpec& intent = world().schema.intents()[gold.intent];
+    EXPECT_TRUE(intent.paraphrases[gold.paraphrase].train);
+  }
+}
+
+TEST_F(QaGenTest, DeterministicForSeed) {
+  QaGenConfig config;
+  config.num_pairs = 50;
+  QaCorpus a = GenerateTrainingCorpus(world(), config);
+  QaCorpus b = GenerateTrainingCorpus(world(), config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].question, b.pairs[i].question);
+    EXPECT_EQ(a.pairs[i].answer, b.pairs[i].answer);
+  }
+}
+
+// ---------- Benchmark generation ----------
+
+struct BenchmarkShape {
+  size_t num_questions;
+  double bfq_ratio;
+};
+
+class BenchmarkShapeTest : public ::testing::TestWithParam<BenchmarkShape> {};
+
+TEST_P(BenchmarkShapeTest, RespectsShape) {
+  WorldConfig wc;
+  wc.schema.scale = 0.05;
+  wc.schema.generic_attributes_per_type = 2;
+  wc.schema.generic_relations_per_type = 1;
+  World world = GenerateWorld(wc);
+  BenchmarkConfig config;
+  config.num_questions = GetParam().num_questions;
+  config.bfq_ratio = GetParam().bfq_ratio;
+  BenchmarkSet set = GenerateBenchmark(world, config);
+  EXPECT_EQ(set.questions.size(), GetParam().num_questions);
+  double ratio =
+      static_cast<double>(set.num_bfq) / set.questions.size();
+  EXPECT_NEAR(ratio, GetParam().bfq_ratio, 0.17);
+  // Every BFQ has a non-empty gold value.
+  for (size_t i = 0; i < set.questions.size(); ++i) {
+    if (set.questions.gold[i].is_bfq) {
+      EXPECT_FALSE(set.questions.gold[i].value_string.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BenchmarkShapeTest,
+                         ::testing::Values(BenchmarkShape{50, 0.24},
+                                           BenchmarkShape{99, 0.41},
+                                           BenchmarkShape{50, 0.54},
+                                           BenchmarkShape{200, 0.35}));
+
+TEST_F(QaGenTest, BenchmarkIncludesUnseenParaphrases) {
+  BenchmarkConfig config;
+  config.num_questions = 150;
+  config.bfq_ratio = 0.8;
+  config.unseen_paraphrase_rate = 0.5;
+  BenchmarkSet set = GenerateBenchmark(world(), config);
+  size_t unseen = 0;
+  for (const QaGold& gold : set.questions.gold) {
+    unseen += gold.unseen_paraphrase;
+  }
+  EXPECT_GT(unseen, 10u);
+}
+
+TEST_F(QaGenTest, SuperlativeGoldIsArgmax) {
+  BenchmarkConfig config;
+  config.num_questions = 120;
+  config.bfq_ratio = 0.0;  // non-BFQs only
+  BenchmarkSet set = GenerateBenchmark(world(), config);
+  size_t superlatives = 0;
+  for (size_t i = 0; i < set.questions.size(); ++i) {
+    const QaGold& gold = set.questions.gold[i];
+    if (gold.kind != "superlative") continue;
+    ++superlatives;
+    EXPECT_FALSE(gold.value_string.empty());
+    // The named winner exists in the KB under that name.
+    EXPECT_FALSE(world().kb.EntitiesByName(gold.value_string).empty());
+  }
+  EXPECT_GT(superlatives, 5u);
+}
+
+// ---------- Web docs ----------
+
+TEST_F(QaGenTest, WebDocsMentionFactsByKeyword) {
+  std::vector<std::string> docs = GenerateWebDocs(world(), 500, 99);
+  EXPECT_EQ(docs.size(), 500u);
+  size_t with_is = 0;
+  for (const std::string& doc : docs) {
+    with_is += (doc.find(" is ") != std::string::npos ||
+                doc.find(" was ") != std::string::npos);
+  }
+  // Statement frames dominate (80%).
+  EXPECT_GT(with_is, 300u);
+}
+
+}  // namespace
+}  // namespace kbqa::corpus

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/decomposer.h"
+#include "nlp/pattern.h"
+#include "nlp/tokenizer.h"
+
+namespace kbqa::core {
+namespace {
+
+/// Decomposer fixture with a hand-built pattern index and a primitive-BFQ
+/// probe defined by a string set.
+class DecomposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<nlp::PatternQuestion> corpus;
+    auto add = [&](const std::string& question, size_t mention_begin,
+                   size_t mention_end) {
+      nlp::PatternQuestion pq;
+      pq.tokens = nlp::TokenizeQuestion(question);
+      pq.mention_spans = {{mention_begin, mention_end}};
+      corpus.push_back(std::move(pq));
+    };
+    // Corpus evidence for the outer patterns the DP must pick.
+    add("when was michelle obama born", 2, 4);
+    add("when was larry page born", 2, 4);
+    add("how many people live in tokyo", 5, 6);
+    add("how many people live in honolulu", 5, 6);
+    add("what is the area of berlin", 4, 5);
+    index_ = nlp::PatternIndex::Build(corpus);
+  }
+
+  ComplexDecomposer Make(std::set<std::string> primitives) {
+    primitives_ = std::move(primitives);
+    ComplexDecomposer::Options options;
+    return ComplexDecomposer(
+        &index_,
+        [this](const std::vector<std::string>& tokens) {
+          return primitives_.count(nlp::JoinTokens(tokens)) > 0;
+        },
+        options);
+  }
+
+  nlp::PatternIndex index_;
+  std::set<std::string> primitives_;
+};
+
+TEST_F(DecomposerTest, TwoStepChain) {
+  auto decomposer = Make({"barack obama s wife"});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("when was barack obama's wife born"));
+  ASSERT_EQ(result.sequence.size(), 2u);
+  EXPECT_EQ(result.sequence[0], "barack obama s wife");
+  EXPECT_EQ(result.sequence[1], "when was $e born");
+  EXPECT_GT(result.probability, 0.9);
+}
+
+TEST_F(DecomposerTest, CapitalChain) {
+  auto decomposer = Make({"the capital of japan"});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("how many people live in the capital of japan"));
+  ASSERT_EQ(result.sequence.size(), 2u);
+  EXPECT_EQ(result.sequence[0], "the capital of japan");
+  EXPECT_EQ(result.sequence[1], "how many people live in $e");
+}
+
+TEST_F(DecomposerTest, PrimitiveWholeQuestionWinsOutright) {
+  auto decomposer = Make(
+      {"when was barack obama s wife born", "barack obama s wife"});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("when was barack obama's wife born"));
+  ASSERT_EQ(result.sequence.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.probability, 1.0);
+}
+
+TEST_F(DecomposerTest, NoPrimitiveNoDecomposition) {
+  auto decomposer = Make({});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("when was barack obama's wife born"));
+  EXPECT_TRUE(result.sequence.empty());
+  EXPECT_DOUBLE_EQ(result.probability, 0.0);
+}
+
+TEST_F(DecomposerTest, InvalidOuterPatternBlocksChain) {
+  // The primitive is answerable but no corpus pattern covers the remainder
+  // ("what is the weight of $e" was never seen) => probability 0.
+  auto decomposer = Make({"the capital of japan"});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("what is the weight of the capital of japan"));
+  EXPECT_TRUE(result.sequence.empty());
+}
+
+TEST_F(DecomposerTest, EmptyInput) {
+  auto decomposer = Make({"x y"});
+  auto result = decomposer.Decompose({});
+  EXPECT_TRUE(result.sequence.empty());
+}
+
+TEST_F(DecomposerTest, SingleWordIsNeverPrimitive) {
+  // min_inner_tokens = 2 forbids one-word inner questions even when the
+  // probe would accept them.
+  auto decomposer = Make({"japan"});
+  auto result =
+      decomposer.Decompose(nlp::TokenizeQuestion("when was japan born"));
+  EXPECT_TRUE(result.sequence.empty());
+}
+
+TEST_F(DecomposerTest, PrefersHigherProbabilityDecomposition) {
+  // Both "the capital of japan" and "capital of japan" are primitive; the
+  // outer patterns differ in corpus support. "how many people live in $e"
+  // has fv=fo=2 => P=1; the alternative leaves "the" inside the pattern
+  // ("how many people live in the $e"), which the corpus never validates.
+  auto decomposer = Make({"the capital of japan", "capital of japan"});
+  auto result = decomposer.Decompose(
+      nlp::TokenizeQuestion("how many people live in the capital of japan"));
+  ASSERT_EQ(result.sequence.size(), 2u);
+  EXPECT_EQ(result.sequence[1], "how many people live in $e");
+  EXPECT_EQ(result.sequence[0], "the capital of japan");
+}
+
+}  // namespace
+}  // namespace kbqa::core

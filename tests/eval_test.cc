@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace kbqa::eval {
+namespace {
+
+TEST(MetricsTest, PaperDefinitions) {
+  QaldCounts counts;
+  counts.total = 50;
+  counts.bfq = 12;
+  counts.pro = 8;
+  counts.ri = 5;
+  counts.par = 1;
+  EXPECT_DOUBLE_EQ(counts.P(), 5.0 / 8);
+  EXPECT_DOUBLE_EQ(counts.PStar(), 6.0 / 8);
+  EXPECT_DOUBLE_EQ(counts.R(), 5.0 / 50);
+  EXPECT_DOUBLE_EQ(counts.RStar(), 6.0 / 50);
+  EXPECT_DOUBLE_EQ(counts.RBfq(), 5.0 / 12);
+  EXPECT_DOUBLE_EQ(counts.RStarBfq(), 6.0 / 12);
+}
+
+TEST(MetricsTest, ZeroSafe) {
+  QaldCounts counts;
+  EXPECT_DOUBLE_EQ(counts.P(), 0);
+  EXPECT_DOUBLE_EQ(counts.R(), 0);
+  EXPECT_DOUBLE_EQ(counts.F1(), 0);
+  EXPECT_DOUBLE_EQ(counts.RBfq(), 0);
+}
+
+TEST(MetricsTest, F1Harmonic) {
+  QaldCounts counts;
+  counts.total = 10;
+  counts.pro = 10;
+  counts.ri = 5;
+  // P = R = 0.5 -> F1 = 0.5.
+  EXPECT_DOUBLE_EQ(counts.F1(), 0.5);
+}
+
+TEST(MetricsTest, Accumulation) {
+  QaldCounts a, b;
+  a.total = 10;
+  a.ri = 2;
+  b.total = 5;
+  b.ri = 3;
+  a += b;
+  EXPECT_EQ(a.total, 15u);
+  EXPECT_EQ(a.ri, 5u);
+}
+
+TEST(JudgeTest, RightPartialWrongDeclined) {
+  corpus::QaGold gold;
+  gold.value_string = "Mountain View";
+  gold.partial_values = {"united states"};
+
+  core::AnswerResult declined;
+  EXPECT_EQ(Judge(declined, gold), Judgment::kDeclined);
+
+  core::AnswerResult right;
+  right.answered = true;
+  right.value = "mountain view";  // case-insensitive normalized match
+  EXPECT_EQ(Judge(right, gold), Judgment::kRight);
+
+  core::AnswerResult partial;
+  partial.answered = true;
+  partial.value = "United States";
+  EXPECT_EQ(Judge(partial, gold), Judgment::kPartial);
+
+  core::AnswerResult wrong;
+  wrong.answered = true;
+  wrong.value = "tokyo";
+  EXPECT_EQ(Judge(wrong, gold), Judgment::kWrong);
+}
+
+TEST(JudgeTest, EmptyGoldNeverRight) {
+  corpus::QaGold gold;  // listing/opinion question: no gold value
+  core::AnswerResult answer;
+  answer.answered = true;
+  answer.value = "anything";
+  EXPECT_EQ(Judge(answer, gold), Judgment::kWrong);
+}
+
+}  // namespace
+}  // namespace kbqa::eval

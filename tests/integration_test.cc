@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "nlp/tokenizer.h"
+
+namespace kbqa::eval {
+namespace {
+
+/// One shared small experiment for the whole file (training once keeps the
+/// suite fast); individual tests only read from it.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const Experiment& experiment() {
+    static const Experiment* const kExperiment = [] {
+      auto built = Experiment::Build(ExperimentConfig::Small());
+      if (!built.ok()) {
+        ADD_FAILURE() << "experiment build failed: " << built.status();
+        return static_cast<Experiment*>(nullptr);
+      }
+      return const_cast<Experiment*>(std::move(built).value().release());
+    }();
+    return *kExperiment;
+  }
+};
+
+TEST_F(IntegrationTest, TrainingProducedTemplatesAndPredicates) {
+  const auto& stats = experiment().kbqa().em_stats();
+  EXPECT_GT(stats.num_observations, 500u);
+  EXPECT_GT(stats.num_templates, 50u);
+  EXPECT_GT(stats.num_predicates, 10u);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST_F(IntegrationTest, EmLikelihoodMonotone) {
+  const auto& ll = experiment().kbqa().em_stats().log_likelihood;
+  ASSERT_GE(ll.size(), 2u);
+  for (size_t i = 1; i < ll.size(); ++i) {
+    EXPECT_GE(ll[i], ll[i - 1] - 1e-6);
+  }
+}
+
+TEST_F(IntegrationTest, AnswersPaperRunningExamples) {
+  const auto& kbqa = experiment().kbqa();
+  // Table 1 of the paper, over the famous seed entities.
+  struct Case {
+    const char* question;
+    const char* answer;
+  };
+  for (const Case& c : {
+           Case{"how many people are there in honolulu", "390000"},
+           Case{"what is the population of honolulu", "390000"},
+           Case{"when was barack obama born", "1961"},
+           Case{"who is the wife of barack obama", "michelle obama"},
+           Case{"what is the capital of japan", "tokyo"},
+       }) {
+    core::AnswerResult result = kbqa.Answer(c.question);
+    EXPECT_TRUE(result.answered) << c.question;
+    EXPECT_EQ(result.value, c.answer) << c.question;
+  }
+}
+
+TEST_F(IntegrationTest, AnswersComplexQuestions) {
+  const auto& kbqa = experiment().kbqa();
+  core::ComplexAnswer wife_dob =
+      kbqa.AnswerComplex("when was barack obama's wife born");
+  EXPECT_TRUE(wife_dob.answer.answered);
+  EXPECT_EQ(wife_dob.answer.value, "1964");
+  EXPECT_GE(wife_dob.sequence.size(), 2u);
+
+  core::ComplexAnswer capital_pop =
+      kbqa.AnswerComplex("how many people live in the capital of japan");
+  EXPECT_TRUE(capital_pop.answer.answered);
+  EXPECT_EQ(capital_pop.answer.value, "13960000");
+}
+
+TEST_F(IntegrationTest, DeclinesNonBfqQuestions) {
+  const auto& kbqa = experiment().kbqa();
+  EXPECT_FALSE(kbqa.Answer("why is tokyo so popular").answered);
+  EXPECT_FALSE(kbqa.Answer("list all citys ordered by population").answered);
+  EXPECT_FALSE(kbqa.Answer("hello there general").answered);
+}
+
+TEST_F(IntegrationTest, QaldPrecisionAndRecallShape) {
+  // The paper's signature: KBQA has high precision and bounded recall on
+  // mixed benchmarks (recall limited by the non-BFQ share).
+  corpus::BenchmarkSet qald = experiment().MakeQald3();
+  RunResult run = RunBenchmark(experiment().kbqa(), qald);
+  EXPECT_GT(run.counts.P(), 0.6) << "precision over answered";
+  EXPECT_GT(run.counts.RBfq(), 0.35) << "recall over BFQs";
+  EXPECT_LT(run.counts.R(), run.counts.RBfq())
+      << "non-BFQs must cap overall recall";
+}
+
+TEST_F(IntegrationTest, KbqaBeatsSynonymBaselineOnBfqPrecision) {
+  corpus::BenchmarkSet qald = experiment().MakeQald1();
+  RunResult kbqa_run = RunBenchmark(experiment().kbqa(), qald);
+  RunResult synonym_run = RunBenchmark(experiment().synonym_qa(), qald);
+  // Table 9's shape: template-based beats synonym-based on both P and R.
+  EXPECT_GT(kbqa_run.counts.P(), synonym_run.counts.P() - 0.05);
+  EXPECT_GT(kbqa_run.counts.RBfq(), synonym_run.counts.RBfq());
+}
+
+TEST_F(IntegrationTest, HybridImprovesRecallOverBothParts) {
+  corpus::BenchmarkSet qald = experiment().MakeQald3();
+  const auto& kbqa = experiment().kbqa();
+  const auto& keyword = experiment().keyword_qa();
+  core::HybridSystem hybrid(&kbqa, &keyword);
+
+  RunResult kbqa_run = RunBenchmark(kbqa, qald);
+  RunResult keyword_run = RunBenchmark(keyword, qald);
+  RunResult hybrid_run = RunBenchmark(hybrid, qald);
+
+  // Table 11's shape: the hybrid recalls at least as much as either part.
+  EXPECT_GE(hybrid_run.counts.R(), kbqa_run.counts.R());
+  EXPECT_GE(hybrid_run.counts.R(), keyword_run.counts.R());
+  EXPECT_GT(hybrid_run.counts.R(),
+            std::max(kbqa_run.counts.R(), keyword_run.counts.R()) - 1e-9);
+}
+
+TEST_F(IntegrationTest, UnseenParaphrasesReduceButDontKillRecall) {
+  corpus::BenchmarkConfig config;
+  config.num_questions = 120;
+  config.bfq_ratio = 1.0;
+  config.unseen_paraphrase_rate = 0.0;
+  config.seed = 5150;
+  corpus::BenchmarkSet seen =
+      corpus::GenerateBenchmark(experiment().world(), config);
+  config.unseen_paraphrase_rate = 1.0;
+  config.seed = 5151;
+  corpus::BenchmarkSet unseen =
+      corpus::GenerateBenchmark(experiment().world(), config);
+
+  RunResult seen_run = RunBenchmark(experiment().kbqa(), seen);
+  RunResult unseen_run = RunBenchmark(experiment().kbqa(), unseen);
+  EXPECT_GT(seen_run.counts.R(), unseen_run.counts.R());
+  EXPECT_GT(seen_run.counts.R(), 0.5);
+}
+
+TEST_F(IntegrationTest, ExpansionCoversCvtIntents) {
+  const auto& ekb = experiment().kbqa().expanded_kb();
+  EXPECT_GT(ekb.NumTriplesOfLength(2), 0u);
+  EXPECT_GT(ekb.NumTriplesOfLength(3), 0u);
+  // Expanded (2..3) predicates outnumber direct ones learned — the paper's
+  // Table 16 direction.
+  EXPECT_GT(ekb.NumPathsOfLength(2) + ekb.NumPathsOfLength(3), 0u);
+}
+
+TEST_F(IntegrationTest, MultiValuedAnswerSetIsComplete) {
+  core::AnswerResult result =
+      experiment().kbqa().Answer("who are the members of coldplay");
+  ASSERT_TRUE(result.answered);
+  // Both wired members appear in the answer set; `value` is one of them.
+  ASSERT_EQ(result.values.size(), 2u);
+  std::vector<std::string> values = result.values;
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values[0], "chris martin");
+  EXPECT_EQ(values[1], "jonny buckland");
+  EXPECT_TRUE(result.value == "chris martin" ||
+              result.value == "jonny buckland");
+}
+
+TEST_F(IntegrationTest, AliasMentionAnswers) {
+  // Find an aliased entity with a dob fact and ask via the alias.
+  const corpus::World& world = experiment().world();
+  auto alias = world.kb.LookupPredicate("alias");
+  ASSERT_TRUE(alias.has_value());
+  int dob = world.schema.IntentIndex("person.dob");
+  for (rdf::TermId e :
+       world.entities_by_type[world.schema.TypeIndex("person")]) {
+    auto range = world.kb.ObjectsRange(e, *alias);
+    if (range.empty()) continue;
+    const auto* values = world.FactValues(dob, e);
+    if (values == nullptr || values->empty()) continue;
+    std::string alias_text = world.kb.NodeString(range.front().o);
+    // The alias must name exactly this entity for an unambiguous check.
+    if (experiment().kbqa().ner().EntitiesForSpan({alias_text}, 0, 1).size() !=
+        1) {
+      continue;
+    }
+    core::AnswerResult result =
+        experiment().kbqa().Answer("when was " + alias_text + " born");
+    if (!result.answered) continue;  // tolerate template gaps
+    EXPECT_EQ(result.value, world.ValueSurface((*values)[0]));
+    return;
+  }
+  GTEST_SKIP() << "no unambiguous aliased person with dob in small world";
+}
+
+TEST_F(IntegrationTest, AnswerDiagnosticsPopulated) {
+  core::AnswerResult result =
+      experiment().kbqa().Answer("what is the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_GE(result.num_entities, 1u);
+  EXPECT_GE(result.num_templates, 1u);
+  EXPECT_GE(result.num_predicates, 1u);
+  EXPECT_GE(result.num_values, 1u);
+  EXPECT_FALSE(result.ranked.empty());
+}
+
+TEST_F(IntegrationTest, DeterministicAnswers) {
+  auto built = Experiment::Build(ExperimentConfig::Small());
+  ASSERT_TRUE(built.ok());
+  const Experiment& other = *built.value();
+  for (const char* q :
+       {"what is the population of honolulu", "who is the wife of barack obama",
+        "what is the capital of germany"}) {
+    EXPECT_EQ(experiment().kbqa().Answer(q).value, other.kbqa().Answer(q).value)
+        << q;
+  }
+  EXPECT_EQ(experiment().kbqa().template_store().num_templates(),
+            other.kbqa().template_store().num_templates());
+}
+
+TEST_F(IntegrationTest, PolysemousNameIsDisambiguatedByContext) {
+  // Find a fruit/company shared name and ask a fruit-sense question vs a
+  // company-sense question.
+  const corpus::World& world = experiment().world();
+  int fruit = world.schema.TypeIndex("fruit");
+  int company = world.schema.TypeIndex("company");
+  int calories = world.schema.IntentIndex("fruit.calories");
+  int employees = world.schema.IntentIndex("company.employees");
+  ASSERT_GE(calories, 0);
+  ASSERT_GE(employees, 0);
+
+  for (rdf::TermId f : world.entities_by_type[fruit]) {
+    std::string name = world.kb.EntityName(f);
+    auto shared = world.kb.EntitiesByName(name);
+    if (shared.size() < 2) continue;
+    rdf::TermId co = rdf::kInvalidTerm;
+    for (rdf::TermId e : shared) {
+      for (rdf::TermId c : world.entities_by_type[company]) {
+        if (e == c) co = c;
+      }
+    }
+    if (co == rdf::kInvalidTerm) continue;
+    const auto* fruit_fact = world.FactValues(calories, f);
+    const auto* company_fact = world.FactValues(employees, co);
+    if (fruit_fact == nullptr || company_fact == nullptr) continue;
+
+    core::AnswerResult fruit_answer = experiment().kbqa().Answer(
+        "how many calories are in " + name);
+    core::AnswerResult company_answer = experiment().kbqa().Answer(
+        "how many employees does " + name + " have");
+    if (!fruit_answer.answered || !company_answer.answered) continue;
+    EXPECT_EQ(fruit_answer.value, world.ValueSurface((*fruit_fact)[0]));
+    EXPECT_EQ(company_answer.value, world.ValueSurface((*company_fact)[0]));
+    return;  // One fully-checked polysemous pair is enough.
+  }
+  GTEST_SKIP() << "no fully-faceted polysemous pair in this small world";
+}
+
+}  // namespace
+}  // namespace kbqa::eval

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "corpus/corpus_io.h"
+#include "corpus/qa_generator.h"
+#include "corpus/world_generator.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "rdf/ntriples.h"
+
+namespace kbqa {
+namespace {
+
+// ---------- N-Triples ----------
+
+TEST(NTriplesTest, ParseLineForms) {
+  auto literal = rdf::ParseNTripleLine(
+      "<person/a> <name> \"barack obama\" .");
+  ASSERT_TRUE(literal.ok()) << literal.status();
+  EXPECT_EQ(literal.value().subject, "person/a");
+  EXPECT_EQ(literal.value().predicate, "name");
+  EXPECT_EQ(literal.value().object, "barack obama");
+  EXPECT_TRUE(literal.value().object_is_literal);
+
+  auto entity = rdf::ParseNTripleLine("<person/a> <pob> <city/d> .");
+  ASSERT_TRUE(entity.ok());
+  EXPECT_FALSE(entity.value().object_is_literal);
+  EXPECT_EQ(entity.value().object, "city/d");
+}
+
+TEST(NTriplesTest, ParseEscapes) {
+  auto parsed = rdf::ParseNTripleLine(
+      "<a> <says> \"line\\none \\\"two\\\" tab\\t back\\\\slash\" .");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().object, "line\none \"two\" tab\t back\\slash");
+}
+
+TEST(NTriplesTest, ParseErrors) {
+  EXPECT_FALSE(rdf::ParseNTripleLine("garbage").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b>").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> <c>").ok());       // no dot
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"x .").ok());     // unterminated
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> <c> . extra").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<> <b> <c> .").ok());      // empty IRI
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"x\\q\" .").ok());  // bad esc
+}
+
+TEST(NTriplesTest, FormatParseRoundTrip) {
+  rdf::NTriple triple{"person/a", "quote", "he said \"hi\"\tthen left\n",
+                      true};
+  auto parsed = rdf::ParseNTripleLine(rdf::FormatNTripleLine(triple));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().subject, triple.subject);
+  EXPECT_EQ(parsed.value().object, triple.object);
+  EXPECT_TRUE(parsed.value().object_is_literal);
+}
+
+TEST(NTriplesTest, ExportImportRoundTripsAWorld) {
+  corpus::WorldConfig config;
+  config.schema.scale = 0.02;
+  corpus::World world = corpus::GenerateWorld(config);
+  std::string path = ::testing::TempDir() + "/world.nt";
+  ASSERT_TRUE(rdf::ExportNTriples(world.kb, path).ok());
+
+  auto imported = rdf::ImportNTriples(path);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(imported.value().num_triples(), world.kb.num_triples());
+  EXPECT_EQ(imported.value().num_predicates(), world.kb.num_predicates());
+  // Name index survives (name predicate rebound on import).
+  auto honolulu = imported.value().EntitiesByName("honolulu");
+  EXPECT_EQ(honolulu.size(), world.kb.EntitiesByName("honolulu").size());
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, ImportRejectsMalformedFile) {
+  std::string path = ::testing::TempDir() + "/bad.nt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("# comment ok\n<a> <b> garbage\n", f);
+  std::fclose(f);
+  auto imported = rdf::ImportNTriples(path);
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, ImportMissingFileIsIoError) {
+  EXPECT_EQ(rdf::ImportNTriples("/no/such/file.nt").status().code(),
+            StatusCode::kIoError);
+}
+
+// ---------- QA corpus TSV ----------
+
+TEST(CorpusIoTest, EscapingRoundTrips) {
+  std::string nasty = "a\tb\nc\\d";
+  EXPECT_EQ(corpus::UnescapeTsvField(corpus::EscapeTsvField(nasty)), nasty);
+  EXPECT_EQ(corpus::EscapeTsvField("plain"), "plain");
+}
+
+TEST(CorpusIoTest, ExportImportRoundTrip) {
+  corpus::QaCorpus original;
+  original.pairs.push_back({"when was barack obama born",
+                            "it 's 1961 .\nreally\tit is ."});
+  original.pairs.push_back({"what is the capital of japan", "tokyo ."});
+  original.gold.resize(2);
+
+  std::string path = ::testing::TempDir() + "/corpus.tsv";
+  ASSERT_TRUE(corpus::ExportQaTsv(original, path).ok());
+  auto imported = corpus::ImportQaTsv(path);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  ASSERT_EQ(imported.value().size(), 2u);
+  EXPECT_EQ(imported.value().pairs[0].question, original.pairs[0].question);
+  EXPECT_EQ(imported.value().pairs[0].answer, original.pairs[0].answer);
+  EXPECT_FALSE(imported.value().gold[0].is_bfq);  // no gold on import
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, ImportedCorpusTrainsTheSystem) {
+  // Full circle: generate -> export -> import (losing gold) -> train.
+  corpus::WorldConfig wc;
+  wc.schema.scale = 0.03;
+  wc.schema.generic_attributes_per_type = 1;
+  wc.schema.generic_relations_per_type = 1;
+  corpus::World world = corpus::GenerateWorld(wc);
+  corpus::QaGenConfig qc;
+  qc.num_pairs = 1500;
+  corpus::QaCorpus generated = corpus::GenerateTrainingCorpus(world, qc);
+
+  std::string path = ::testing::TempDir() + "/train.tsv";
+  ASSERT_TRUE(corpus::ExportQaTsv(generated, path).ok());
+  auto imported = corpus::ImportQaTsv(path);
+  ASSERT_TRUE(imported.ok());
+
+  core::KbqaSystem kbqa(&world);
+  ASSERT_TRUE(kbqa.Train(imported.value()).ok());
+  EXPECT_TRUE(kbqa.Answer("when was barack obama born").answered);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, ImportRejectsMalformedLines) {
+  std::string path = ::testing::TempDir() + "/bad.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("question without answer\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(corpus::ImportQaTsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------- Evaluation report ----------
+
+TEST(ReportTest, BreaksDownByKindAndParaphrase) {
+  auto built = eval::Experiment::Build(eval::ExperimentConfig::Small());
+  ASSERT_TRUE(built.ok());
+  corpus::BenchmarkConfig config;
+  config.num_questions = 120;
+  config.bfq_ratio = 0.6;
+  config.unseen_paraphrase_rate = 0.4;
+  corpus::BenchmarkSet set =
+      corpus::GenerateBenchmark(built.value()->world(), config);
+  eval::RunResult run = eval::RunBenchmark(built.value()->kbqa(), set);
+  eval::EvaluationReport report = eval::EvaluationReport::Build(run);
+
+  // Kinds partition the questions.
+  size_t total = 0;
+  for (const auto& [kind, counts] : report.by_kind()) {
+    (void)kind;
+    total += counts.total;
+  }
+  EXPECT_EQ(total, 120u);
+  EXPECT_GT(report.by_kind().count("bfq"), 0u);
+
+  // Seen phrasings recall at least as well as held-out ones.
+  EXPECT_GT(report.num_seen_bfq() + report.num_unseen_bfq(), 0u);
+  EXPECT_GE(report.seen_recall(), report.unseen_recall());
+
+  // Latency percentiles are ordered.
+  EXPECT_LE(report.latency_p50_ms(), report.latency_p95_ms());
+  EXPECT_LE(report.latency_p95_ms(), report.latency_max_ms());
+
+  // Printing produces the expected sections.
+  std::ostringstream os;
+  report.Print(os);
+  EXPECT_NE(os.str().find("Per-kind breakdown"), std::string::npos);
+  EXPECT_NE(os.str().find("paraphrase-coverage"), std::string::npos);
+}
+
+// ---------- Alignment (SEMPRE-family) baseline ----------
+
+class AlignmentTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const eval::Experiment* const kExperiment = [] {
+      auto built = eval::Experiment::Build(eval::ExperimentConfig::Small());
+      if (!built.ok()) {
+        ADD_FAILURE() << built.status();
+        return static_cast<eval::Experiment*>(nullptr);
+      }
+      return const_cast<eval::Experiment*>(
+          std::move(built).value().release());
+    }();
+    return *kExperiment;
+  }
+};
+
+TEST_F(AlignmentTest, LearnsAlignments) {
+  EXPECT_GT(experiment().alignment_qa().num_alignments(), 100u);
+}
+
+TEST_F(AlignmentTest, AnswersPhraseBackedQuestion) {
+  core::AnswerResult result = experiment().alignment_qa().Answer(
+      "what is the population of honolulu");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "390000");
+}
+
+TEST_F(AlignmentTest, ReachesCvtIntentsUnlikeBoaBootstrapping) {
+  // SEMPRE-style alignment learns from QA pairs, so it can reach the
+  // marriage CVT — the phrase "the wife of" aligns with the 3-edge path.
+  core::AnswerResult result = experiment().alignment_qa().Answer(
+      "who is the wife of barack obama");
+  ASSERT_TRUE(result.answered);
+  EXPECT_EQ(result.value, "michelle obama");
+  // The BOA bootstrapping lexicon cannot (direct predicates only).
+  EXPECT_FALSE(experiment()
+                   .synonym_qa()
+                   .Answer("who is the wife of barack obama")
+                   .answered);
+}
+
+TEST_F(AlignmentTest, StillLosesToTemplatesOnContextDependence) {
+  // "how many people are there in X" is context-dependent: for a city it
+  // means population; our alignment baseline picks one winner phrase-wide,
+  // KBQA conceptualizes. At minimum KBQA must match it on the city case and
+  // the baseline must not beat KBQA on a BFQ benchmark.
+  corpus::BenchmarkConfig config;
+  config.num_questions = 60;
+  config.bfq_ratio = 1.0;
+  config.unseen_paraphrase_rate = 0.1;
+  config.seed = 321;
+  corpus::BenchmarkSet set =
+      corpus::GenerateBenchmark(experiment().world(), config);
+  eval::RunResult kbqa = eval::RunBenchmark(experiment().kbqa(), set);
+  eval::RunResult alignment =
+      eval::RunBenchmark(experiment().alignment_qa(), set);
+  EXPECT_GE(kbqa.counts.R(), alignment.counts.R());
+}
+
+}  // namespace
+}  // namespace kbqa

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nlp/ner.h"
+#include "nlp/pattern.h"
+#include "nlp/question_classifier.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::nlp {
+namespace {
+
+// ---------- Tokenizer ----------
+
+TEST(TokenizerTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Tokenize("How many People are there, in Honolulu?"),
+            (std::vector<std::string>{"how", "many", "people", "are", "there",
+                                      "in", "honolulu"}));
+}
+
+TEST(TokenizerTest, KeepsDigitsAndInternalHyphens) {
+  EXPECT_EQ(Tokenize("born in 1961 twenty-one"),
+            (std::vector<std::string>{"born", "in", "1961", "twenty-one"}));
+}
+
+TEST(TokenizerTest, StripsSurroundingQuotesAndHyphens) {
+  EXPECT_EQ(Tokenize("'hello' -world-"),
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_TRUE(Tokenize("...!!!").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(TokenizerTest, PossessiveFormsNormalizeIdentically) {
+  // "obama's" and "obama 's" must produce the same token stream — template
+  // matching depends on it.
+  EXPECT_EQ(TokenizeQuestion("barack obama's wife"),
+            TokenizeQuestion("barack obama 's wife"));
+  EXPECT_EQ(TokenizeQuestion("obama's wife"),
+            (std::vector<std::string>{"obama", "s", "wife"}));
+}
+
+TEST(TokenizerTest, NormalizeTextIsCanonical) {
+  EXPECT_EQ(NormalizeText("  Who IS Barack Obama's wife? "),
+            "who is barack obama s wife");
+  EXPECT_EQ(NormalizeText("390,000"), "390 000");
+}
+
+TEST(TokenizerTest, JoinTokensRoundTrip) {
+  std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(JoinTokens(tokens), "a b c");
+  EXPECT_EQ(JoinTokens({}), "");
+}
+
+// ---------- Stopwords ----------
+
+TEST(StopwordsTest, FunctionWordsAreStopwords) {
+  for (const char* w : {"the", "of", "is", "what", "how", "many", "'s"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+  for (const char* w : {"population", "wife", "honolulu", "capital"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+// ---------- NER ----------
+
+class NerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::PredId name = kb_.AddPredicate("name");
+    kb_.SetNamePredicate(name);
+    obama_ = kb_.AddEntity("person/obama");
+    ny_ = kb_.AddEntity("city/ny");
+    nyc_ = kb_.AddEntity("city/nyc");
+    apple_fruit_ = kb_.AddEntity("fruit/apple");
+    apple_co_ = kb_.AddEntity("company/apple");
+    kb_.AddTriple(obama_, name, kb_.AddLiteral("barack obama"));
+    kb_.AddTriple(ny_, name, kb_.AddLiteral("new york"));
+    kb_.AddTriple(nyc_, name, kb_.AddLiteral("new york city"));
+    kb_.AddTriple(apple_fruit_, name, kb_.AddLiteral("apple"));
+    kb_.AddTriple(apple_co_, name, kb_.AddLiteral("apple"));
+    kb_.Freeze();
+    ner_ = std::make_unique<GazetteerNer>(kb_);
+  }
+
+  rdf::KnowledgeBase kb_;
+  rdf::TermId obama_, ny_, nyc_, apple_fruit_, apple_co_;
+  std::unique_ptr<GazetteerNer> ner_;
+};
+
+TEST_F(NerTest, FindsMultiTokenMention) {
+  auto mentions = ner_->FindMentions(TokenizeQuestion(
+      "when was barack obama born"));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].begin, 2u);
+  EXPECT_EQ(mentions[0].end, 4u);
+  EXPECT_EQ(mentions[0].entities, (std::vector<rdf::TermId>{obama_}));
+}
+
+TEST_F(NerTest, LongestMatchWins) {
+  auto mentions =
+      ner_->FindMentions(TokenizeQuestion("i love new york city a lot"));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].entities, (std::vector<rdf::TermId>{nyc_}));
+  EXPECT_EQ(mentions[0].size(), 3u);
+}
+
+TEST_F(NerTest, AmbiguousNameYieldsAllCandidates) {
+  auto mentions = ner_->FindMentions(TokenizeQuestion("what about apple"));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].entities.size(), 2u);
+}
+
+TEST_F(NerTest, NoMentionsInPlainText) {
+  EXPECT_TRUE(ner_->FindMentions(TokenizeQuestion("how are you today"))
+                  .empty());
+}
+
+TEST_F(NerTest, MultipleMentions) {
+  auto mentions = ner_->FindMentions(
+      TokenizeQuestion("which has more people , new york or apple"));
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].entities, (std::vector<rdf::TermId>{ny_}));
+  EXPECT_EQ(mentions[1].entities.size(), 2u);
+}
+
+TEST_F(NerTest, EntitiesForSpanExactOnly) {
+  auto tokens = TokenizeQuestion("when was barack obama born");
+  EXPECT_EQ(ner_->EntitiesForSpan(tokens, 2, 4),
+            (std::vector<rdf::TermId>{obama_}));
+  EXPECT_TRUE(ner_->EntitiesForSpan(tokens, 2, 5).empty());
+  EXPECT_TRUE(ner_->EntitiesForSpan(tokens, 3, 3).empty());  // empty span
+}
+
+TEST_F(NerTest, LooksLikeNumber) {
+  EXPECT_TRUE(LooksLikeNumber("1961"));
+  EXPECT_FALSE(LooksLikeNumber("19a"));
+  EXPECT_FALSE(LooksLikeNumber(""));
+}
+
+// ---------- Question classifier ----------
+
+struct ClassifierCase {
+  const char* question;
+  QuestionClass expected;
+};
+
+class ClassifierTest : public ::testing::TestWithParam<ClassifierCase> {};
+
+TEST_P(ClassifierTest, ClassifiesCase) {
+  QuestionClassifier classifier;
+  EXPECT_EQ(classifier.Classify(TokenizeQuestion(GetParam().question)),
+            GetParam().expected)
+      << GetParam().question;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UiucCases, ClassifierTest,
+    ::testing::Values(
+        ClassifierCase{"who is the wife of barack obama",
+                       QuestionClass::kHuman},
+        ClassifierCase{"whose idea was it", QuestionClass::kHuman},
+        ClassifierCase{"where was barack obama born",
+                       QuestionClass::kLocation},
+        ClassifierCase{"when was barack obama born", QuestionClass::kNumeric},
+        ClassifierCase{"why is the sky blue", QuestionClass::kDescription},
+        ClassifierCase{"how many people are there in honolulu",
+                       QuestionClass::kNumeric},
+        ClassifierCase{"how long is the mississippi river",
+                       QuestionClass::kNumeric},
+        ClassifierCase{"how do i get to tokyo", QuestionClass::kDescription},
+        ClassifierCase{"what is the population of honolulu",
+                       QuestionClass::kNumeric},
+        ClassifierCase{"what is the capital of japan",
+                       QuestionClass::kLocation},
+        ClassifierCase{"what is the name of obama 's wife",
+                       QuestionClass::kHuman},
+        ClassifierCase{"which city was obama born in",
+                       QuestionClass::kLocation},
+        ClassifierCase{"what currency is used in japan",
+                       QuestionClass::kEntity},
+        ClassifierCase{"barack obama 's wife", QuestionClass::kHuman},
+        ClassifierCase{"the capital of japan", QuestionClass::kLocation}));
+
+TEST(ClassifierTest, EmptyIsUnknown) {
+  QuestionClassifier classifier;
+  EXPECT_EQ(classifier.Classify({}), QuestionClass::kUnknown);
+}
+
+TEST(ClassifierTest, EveryClassHasAName) {
+  for (QuestionClass c :
+       {QuestionClass::kAbbreviation, QuestionClass::kDescription,
+        QuestionClass::kEntity, QuestionClass::kHuman,
+        QuestionClass::kLocation, QuestionClass::kNumeric,
+        QuestionClass::kUnknown}) {
+    EXPECT_STRNE(QuestionClassToString(c), "");
+  }
+}
+
+// ---------- Pattern index (§5.2) ----------
+
+TEST(PatternTest, MakePattern) {
+  std::vector<std::string> tokens = {"when", "was", "michelle", "obama",
+                                     "born"};
+  EXPECT_EQ(MakePattern(tokens, 2, 4), "when was $e born");
+  EXPECT_EQ(MakePattern(tokens, 0, 2), "$e michelle obama born");
+  EXPECT_EQ(MakePattern(tokens, 0, 5), "$e");
+}
+
+/// The paper's Example 4: two "when was X born" questions where X is an
+/// entity, so P("when was $e born") = 1 while P("when $e") = 0 (never a
+/// valid entity replacement).
+TEST(PatternTest, PaperExampleFour) {
+  std::vector<PatternQuestion> corpus(2);
+  corpus[0].tokens = {"when", "was", "barack", "obama", "born"};
+  corpus[0].mention_spans = {{2, 4}};
+  corpus[1].tokens = {"when", "was", "barack", "obama", "born"};
+  corpus[1].mention_spans = {{2, 4}};
+  PatternIndex index = PatternIndex::Build(corpus);
+
+  EXPECT_DOUBLE_EQ(index.ValidProbability("when was $e born"), 1.0);
+  EXPECT_DOUBLE_EQ(index.ValidProbability("when $e"), 0.0);
+  auto stats = index.Stats("when was $e born");
+  EXPECT_EQ(stats.fo, 2u);
+  EXPECT_EQ(stats.fv, 2u);
+}
+
+TEST(PatternTest, OverGeneralPatternsArePunished) {
+  // "was $e" matches both questions as a substring, but is valid in
+  // neither ("was barack" is not an entity) — except in q2 where the
+  // mention span happens to be exactly [1,3).
+  std::vector<PatternQuestion> corpus(2);
+  corpus[0].tokens = {"was", "barack", "obama", "great"};
+  corpus[0].mention_spans = {{1, 3}};
+  corpus[1].tokens = {"was", "michelle", "obama", "great"};
+  corpus[1].mention_spans = {};  // no mention recognized here
+  PatternIndex index = PatternIndex::Build(corpus);
+
+  // fv("was $e great") = 1 (q0 mention), fo = 2 (both match by substring).
+  EXPECT_DOUBLE_EQ(index.ValidProbability("was $e great"), 0.5);
+}
+
+TEST(PatternTest, UnknownPatternIsZero) {
+  PatternIndex index = PatternIndex::Build({});
+  EXPECT_DOUBLE_EQ(index.ValidProbability("what is $e"), 0.0);
+  EXPECT_EQ(index.Stats("what is $e").fo, 0u);
+}
+
+TEST(PatternTest, FvNeverExceedsFo) {
+  std::vector<PatternQuestion> corpus(3);
+  corpus[0].tokens = {"who", "is", "the", "wife", "of", "barack", "obama"};
+  corpus[0].mention_spans = {{5, 7}};
+  corpus[1].tokens = {"who", "is", "the", "wife", "of", "bill", "gates"};
+  corpus[1].mention_spans = {{5, 7}};
+  corpus[2].tokens = {"who", "is", "the", "wife", "of", "the", "king"};
+  corpus[2].mention_spans = {};
+  PatternIndex index = PatternIndex::Build(corpus);
+  auto stats = index.Stats("who is the wife of $e");
+  EXPECT_LE(stats.fv, stats.fo);
+  EXPECT_EQ(stats.fv, 2u);
+  EXPECT_EQ(stats.fo, 3u);
+}
+
+TEST(PatternTest, LongMentionsBeyondSpanCapStillCount) {
+  PatternIndex::Options options;
+  options.max_span_tokens = 2;
+  std::vector<PatternQuestion> corpus(1);
+  corpus[0].tokens = {"about", "the", "very", "long", "entity", "name"};
+  corpus[0].mention_spans = {{1, 6}};  // 5 tokens > cap
+  PatternIndex index = PatternIndex::Build(corpus, options);
+  auto stats = index.Stats("about $e");
+  EXPECT_EQ(stats.fv, 1u);
+  EXPECT_EQ(stats.fo, 1u);  // counted via the mention fallback
+}
+
+}  // namespace
+}  // namespace kbqa::nlp

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+namespace kbqa::rdf {
+namespace {
+
+// ---------- Dictionary ----------
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern("barack obama");
+  TermId b = dict.Intern("barack obama");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.GetString(a), "barack obama");
+}
+
+TEST(DictionaryTest, IdsAreDense) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+}
+
+TEST(DictionaryTest, LookupNeverInterns) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Lookup("ghost").has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  dict.Intern("real");
+  EXPECT_EQ(dict.Lookup("real"), std::optional<TermId>(0));
+}
+
+// ---------- Toy KB (Figure 1 of the paper) ----------
+
+/// Builds the paper's Figure 1: Barack Obama (a) -- marriage --> b --
+/// person --> Michelle Obama (c); dob/pob/population facts; Honolulu (d).
+class ToyKbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    name_ = kb_.AddPredicate("name");
+    kb_.SetNamePredicate(name_);
+    dob_ = kb_.AddPredicate("dob");
+    pob_ = kb_.AddPredicate("pob");
+    marriage_ = kb_.AddPredicate("marriage");
+    person_ = kb_.AddPredicate("person");
+    population_ = kb_.AddPredicate("population");
+    date_ = kb_.AddPredicate("date");
+
+    a_ = kb_.AddEntity("person/a");
+    b_ = kb_.AddEntity("marriage/b");
+    c_ = kb_.AddEntity("person/c");
+    d_ = kb_.AddEntity("city/d");
+
+    obama_lit_ = kb_.AddLiteral("barack obama");
+    michelle_lit_ = kb_.AddLiteral("michelle obama");
+    honolulu_lit_ = kb_.AddLiteral("honolulu");
+    y1961_ = kb_.AddLiteral("1961");
+    y1964_ = kb_.AddLiteral("1964");
+    y1992_ = kb_.AddLiteral("1992");
+    pop_ = kb_.AddLiteral("390000");
+
+    kb_.AddTriple(a_, name_, obama_lit_);
+    kb_.AddTriple(a_, dob_, y1961_);
+    kb_.AddTriple(a_, pob_, d_);
+    kb_.AddTriple(a_, marriage_, b_);
+    kb_.AddTriple(b_, person_, c_);
+    kb_.AddTriple(b_, date_, y1992_);
+    kb_.AddTriple(c_, name_, michelle_lit_);
+    kb_.AddTriple(c_, dob_, y1964_);
+    kb_.AddTriple(d_, name_, honolulu_lit_);
+    kb_.AddTriple(d_, population_, pop_);
+    kb_.Freeze();
+  }
+
+  KnowledgeBase kb_;
+  PredId name_, dob_, pob_, marriage_, person_, population_, date_;
+  TermId a_, b_, c_, d_;
+  TermId obama_lit_, michelle_lit_, honolulu_lit_, y1961_, y1964_, y1992_,
+      pop_;
+};
+
+TEST_F(ToyKbTest, BasicCounts) {
+  EXPECT_EQ(kb_.num_triples(), 10u);
+  EXPECT_EQ(kb_.num_predicates(), 7u);
+  EXPECT_EQ(kb_.num_entities(), 4u);
+  EXPECT_TRUE(kb_.IsEntity(a_));
+  EXPECT_TRUE(kb_.IsLiteral(y1961_));
+}
+
+TEST_F(ToyKbTest, ObjectsLookup) {
+  EXPECT_EQ(kb_.Objects(a_, dob_), (std::vector<TermId>{y1961_}));
+  EXPECT_EQ(kb_.Objects(a_, marriage_), (std::vector<TermId>{b_}));
+  EXPECT_TRUE(kb_.Objects(a_, population_).empty());
+  EXPECT_TRUE(kb_.Objects(y1961_, dob_).empty());  // literal subject
+}
+
+TEST_F(ToyKbTest, HasTripleAndConnectingPredicates) {
+  EXPECT_TRUE(kb_.HasTriple(d_, population_, pop_));
+  EXPECT_FALSE(kb_.HasTriple(d_, population_, y1961_));
+  EXPECT_EQ(kb_.ConnectingPredicates(a_, y1961_),
+            (std::vector<PredId>{dob_}));
+  EXPECT_TRUE(kb_.ConnectingPredicates(a_, y1964_).empty());
+}
+
+TEST_F(ToyKbTest, InverseAdjacency) {
+  auto in = kb_.In(c_);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].p, person_);
+  EXPECT_EQ(in[0].o, b_);  // In() stores (predicate, subject).
+}
+
+TEST_F(ToyKbTest, NameIndex) {
+  auto entities = kb_.EntitiesByName("barack obama");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0], a_);
+  EXPECT_TRUE(kb_.EntitiesByName("nobody").empty());
+  EXPECT_EQ(kb_.EntityName(a_), "barack obama");
+  EXPECT_EQ(kb_.EntityName(b_), "marriage/b");  // unnamed CVT falls back
+}
+
+TEST_F(ToyKbTest, DuplicateTriplesDeduplicatedAtFreeze) {
+  KnowledgeBase kb;
+  PredId p = kb.AddPredicate("p");
+  TermId s = kb.AddEntity("s");
+  TermId o = kb.AddLiteral("o");
+  kb.AddTriple(s, p, o);
+  kb.AddTriple(s, p, o);
+  kb.Freeze();
+  EXPECT_EQ(kb.num_triples(), 1u);
+}
+
+TEST_F(ToyKbTest, SaveLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/toy_kb.bin";
+  ASSERT_TRUE(kb_.Save(path).ok());
+  auto loaded = KnowledgeBase::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const KnowledgeBase& kb2 = loaded.value();
+  EXPECT_EQ(kb2.num_triples(), kb_.num_triples());
+  EXPECT_EQ(kb2.num_predicates(), kb_.num_predicates());
+  EXPECT_EQ(kb2.num_entities(), kb_.num_entities());
+  auto entities = kb2.EntitiesByName("honolulu");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(kb2.Objects(entities[0], *kb2.LookupPredicate("population")),
+            (std::vector<TermId>{*kb2.LookupNode("390000")}));
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a kb", f);
+  std::fclose(f);
+  auto loaded = KnowledgeBase::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadMissingFileIsIoError) {
+  auto loaded = KnowledgeBase::Load("/nonexistent/path/kb.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// ---------- Expanded predicates (§6) ----------
+
+class ExpansionTest : public ToyKbTest {
+ protected:
+  Result<ExpandedKb> Expand(int k, bool name_tail = true) {
+    ExpansionOptions options;
+    options.max_length = k;
+    options.require_name_tail = name_tail;
+    return ExpandedKb::Build(kb_, {a_, d_}, {name_}, options);
+  }
+};
+
+TEST_F(ExpansionTest, FindsSpouseOfPath) {
+  auto ekb = Expand(3);
+  ASSERT_TRUE(ekb.ok()) << ekb.status();
+  PredPath spouse_of = {marriage_, person_, name_};
+  auto path_id = ekb.value().paths().Lookup(spouse_of);
+  ASSERT_TRUE(path_id.has_value());
+  EXPECT_EQ(ekb.value().Objects(a_, *path_id),
+            (std::vector<TermId>{michelle_lit_}));
+  EXPECT_EQ(ekb.value().paths().ToString(*path_id, kb_),
+            "marriage -> person -> name");
+}
+
+TEST_F(ExpansionTest, NameTailRuleExcludesWeakPaths) {
+  auto ekb = Expand(3);
+  ASSERT_TRUE(ekb.ok());
+  // marriage -> date (the 1992 wedding) does not end with name: excluded.
+  EXPECT_FALSE(ekb.value().paths().Lookup({marriage_, date_}).has_value());
+  // marriage -> person -> dob ("Obama's 1964") likewise.
+  EXPECT_FALSE(
+      ekb.value().paths().Lookup({marriage_, person_, dob_}).has_value());
+  // But with the rule off, both appear.
+  auto loose = Expand(3, /*name_tail=*/false);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose.value().paths().Lookup({marriage_, date_}).has_value());
+  EXPECT_TRUE(
+      loose.value().paths().Lookup({marriage_, person_, dob_}).has_value());
+}
+
+TEST_F(ExpansionTest, RespectsLengthLimit) {
+  auto ekb = Expand(1);
+  ASSERT_TRUE(ekb.ok());
+  EXPECT_EQ(ekb.value().NumTriplesOfLength(2), 0u);
+  EXPECT_EQ(ekb.value().NumTriplesOfLength(3), 0u);
+  // Direct predicates are present: dob, pob, marriage, name, population.
+  EXPECT_GT(ekb.value().NumTriplesOfLength(1), 0u);
+}
+
+TEST_F(ExpansionTest, LengthOnePathsAreUnrestricted) {
+  auto ekb = Expand(3);
+  ASSERT_TRUE(ekb.ok());
+  EXPECT_TRUE(ekb.value().paths().Lookup({dob_}).has_value());
+  EXPECT_TRUE(ekb.value().paths().Lookup({marriage_}).has_value());
+}
+
+TEST_F(ExpansionTest, SeedsOnly) {
+  ExpansionOptions options;
+  options.max_length = 3;
+  auto ekb = ExpandedKb::Build(kb_, {d_}, {name_}, options);
+  ASSERT_TRUE(ekb.ok());
+  // Only Honolulu was seeded; Obama has no materialized triples.
+  EXPECT_TRUE(ekb.value().Out(a_).empty());
+  EXPECT_FALSE(ekb.value().Out(d_).empty());
+}
+
+TEST_F(ExpansionTest, DuplicateSeedsDontDoubleTriples) {
+  ExpansionOptions options;
+  options.max_length = 1;
+  auto once = ExpandedKb::Build(kb_, {d_}, {name_}, options);
+  auto twice = ExpandedKb::Build(kb_, {d_, d_}, {name_}, options);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value().num_triples(), twice.value().num_triples());
+}
+
+TEST_F(ExpansionTest, TripleBudgetIsEnforced) {
+  ExpansionOptions options;
+  options.max_length = 3;
+  options.max_triples = 2;
+  auto ekb = ExpandedKb::Build(kb_, {a_, d_}, {name_}, options);
+  ASSERT_FALSE(ekb.ok());
+  EXPECT_EQ(ekb.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ExpansionTest, ConnectingPaths) {
+  auto ekb = Expand(3);
+  ASSERT_TRUE(ekb.ok());
+  auto paths = ekb.value().ConnectingPaths(a_, michelle_lit_);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(ekb.value().paths().GetPath(paths[0]),
+            (PredPath{marriage_, person_, name_}));
+}
+
+TEST_F(ExpansionTest, ObjectsViaPathWalksBaseKb) {
+  // Works for entities that were never seeded (online lookups).
+  EXPECT_EQ(ObjectsViaPath(kb_, a_, {marriage_, person_, name_}),
+            (std::vector<TermId>{michelle_lit_}));
+  EXPECT_EQ(ObjectsViaPath(kb_, a_, {pob_, name_}),
+            (std::vector<TermId>{honolulu_lit_}));
+  EXPECT_TRUE(ObjectsViaPath(kb_, a_, {population_}).empty());
+  // Paths through literals are dead ends.
+  EXPECT_TRUE(ObjectsViaPath(kb_, a_, {dob_, dob_}).empty());
+}
+
+TEST_F(ExpansionTest, PathDictionaryDistinguishesPrefixes) {
+  PathDictionary paths;
+  PathId p1 = paths.Intern({1, 2});
+  PathId p2 = paths.Intern({1});
+  PathId p3 = paths.Intern({1, 2});
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(p1, p3);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST_F(ExpansionTest, RequiresFrozenKb) {
+  KnowledgeBase kb;
+  kb.AddPredicate("p");
+  ExpansionOptions options;
+  auto ekb = ExpandedKb::Build(kb, {}, {}, options);
+  EXPECT_FALSE(ekb.ok());
+  EXPECT_EQ(ekb.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExpansionTest, NumPathsOfLengthCountsBackedPathsOnly) {
+  auto ekb = Expand(3);
+  ASSERT_TRUE(ekb.ok());
+  // Length-3: exactly marriage -> person -> name (from a).
+  EXPECT_EQ(ekb.value().NumPathsOfLength(3), 1u);
+  // Length-2: pob -> name (a -> honolulu).
+  EXPECT_EQ(ekb.value().NumPathsOfLength(2), 1u);
+}
+
+}  // namespace
+}  // namespace kbqa::rdf

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace kbqa::taxonomy {
+namespace {
+
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    company_ = tax_.AddCategory("$company");
+    fruit_ = tax_.AddCategory("$fruit");
+    city_ = tax_.AddCategory("$city");
+    apple_ = 100;  // arbitrary TermId
+    tax_.AddEntityCategory(apple_, company_, 1.0);
+    tax_.AddEntityCategory(apple_, fruit_, 3.0);  // the fruit sense is prior
+    tax_.AddContextAffinity(company_, "headquarter", 4.0);
+    tax_.AddContextAffinity(company_, "revenue", 4.0);
+    tax_.AddContextAffinity(fruit_, "calories", 4.0);
+  }
+
+  Taxonomy tax_;
+  CategoryId company_, fruit_, city_;
+  rdf::TermId apple_;
+};
+
+TEST_F(TaxonomyTest, CategoryInterningAndLookup) {
+  EXPECT_EQ(tax_.num_categories(), 3u);
+  EXPECT_EQ(tax_.AddCategory("$city"), city_);  // idempotent
+  EXPECT_EQ(tax_.LookupCategory("$fruit"), std::optional<CategoryId>(fruit_));
+  EXPECT_FALSE(tax_.LookupCategory("$ghost").has_value());
+  EXPECT_EQ(tax_.CategoryName(company_), "$company");
+}
+
+TEST_F(TaxonomyTest, PriorsAreNormalizedAndSorted) {
+  auto cats = tax_.CategoriesOf(apple_);
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0].category, fruit_);  // 3.0 weight dominates
+  EXPECT_NEAR(cats[0].probability, 0.75, 1e-9);
+  EXPECT_NEAR(cats[1].probability, 0.25, 1e-9);
+  double sum = cats[0].probability + cats[1].probability;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(TaxonomyTest, UnknownEntityHasNoCategories) {
+  EXPECT_TRUE(tax_.CategoriesOf(999).empty());
+  EXPECT_FALSE(tax_.HasCategories(999));
+  EXPECT_TRUE(tax_.HasCategories(apple_));
+}
+
+TEST_F(TaxonomyTest, ContextFlipsTheApple) {
+  // The paper's example: "what is the headquarter of apple" must
+  // conceptualize apple to $company, not $fruit (§1.3).
+  std::vector<std::string> context = {"what", "is", "the", "headquarter",
+                                      "of"};
+  auto cats = tax_.Conceptualize(apple_, context);
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0].category, company_);
+  EXPECT_GT(cats[0].probability, 0.5);
+}
+
+TEST_F(TaxonomyTest, FruitContextKeepsFruit) {
+  std::vector<std::string> context = {"how", "many", "calories", "are", "in"};
+  auto cats = tax_.Conceptualize(apple_, context);
+  EXPECT_EQ(cats[0].category, fruit_);
+  EXPECT_GT(cats[0].probability, 0.9);
+}
+
+TEST_F(TaxonomyTest, NeutralContextFallsBackToPrior) {
+  std::vector<std::string> context = {"tell", "me", "about"};
+  auto cats = tax_.Conceptualize(apple_, context);
+  EXPECT_EQ(cats[0].category, fruit_);
+  EXPECT_NEAR(cats[0].probability, 0.75, 1e-9);
+}
+
+TEST_F(TaxonomyTest, ConceptualizationIsNormalized) {
+  std::vector<std::string> context = {"headquarter"};
+  auto cats = tax_.Conceptualize(apple_, context);
+  double sum = 0;
+  for (const auto& sc : cats) sum += sc.probability;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(TaxonomyTest, AffinityMatchingIsCaseInsensitive) {
+  std::vector<std::string> context = {"HEADQUARTER"};
+  auto cats = tax_.Conceptualize(apple_, context);
+  EXPECT_EQ(cats[0].category, company_);
+}
+
+TEST_F(TaxonomyTest, RepeatedEvidenceAccumulates) {
+  Taxonomy tax;
+  CategoryId a = tax.AddCategory("$a");
+  CategoryId b = tax.AddCategory("$b");
+  tax.AddEntityCategory(7, a, 1.0);
+  tax.AddEntityCategory(7, b, 1.0);
+  tax.AddEntityCategory(7, a, 2.0);  // accumulate to 3.0
+  auto cats = tax.CategoriesOf(7);
+  EXPECT_EQ(cats[0].category, a);
+  EXPECT_NEAR(cats[0].probability, 0.75, 1e-9);
+}
+
+TEST_F(TaxonomyTest, SingleCategoryEntityIgnoresContext) {
+  Taxonomy tax;
+  CategoryId only = tax.AddCategory("$only");
+  tax.AddEntityCategory(5, only, 1.0);
+  tax.AddContextAffinity(only, "word", 10.0);
+  auto cats = tax.Conceptualize(5, std::vector<std::string>{"word"});
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_NEAR(cats[0].probability, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kbqa::taxonomy

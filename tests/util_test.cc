@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace kbqa {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError,
+        StatusCode::kCorruption}) {
+    EXPECT_STRNE(StatusCodeToString(code), "");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailsThrough() {
+  KBQA_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ---------- Strings ----------
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  foo \t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, "-"), "x-y-z");
+  EXPECT_EQ(JoinRange(pieces, 1, 3, " "), "y z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("HeLLo 42"), "hello 42");
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("ef", "def"));
+  EXPECT_TRUE(Contains("the population of", "population"));
+  EXPECT_FALSE(Contains("abc", "x"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("who is $e 's wife", "$e", "barack obama"),
+            "who is barack obama 's wife");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, NumberParsing) {
+  EXPECT_TRUE(IsNumber("390000"));
+  EXPECT_FALSE(IsNumber("39a0"));
+  EXPECT_FALSE(IsNumber(""));
+  EXPECT_EQ(ParseNonNegativeInt("1961"), 1961);
+  EXPECT_EQ(ParseNonNegativeInt("x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("99999999999999999999"), -1);  // overflow
+}
+
+TEST(StringsTest, HashIsStableAndSpreads) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork(1);
+  Rng a2(23);
+  Rng child2 = a2.Fork(1);
+  EXPECT_EQ(child.Next(), child2.Next());  // Deterministic fork.
+  Rng other = a.Fork(2);
+  EXPECT_NE(child.Next(), other.Next());
+}
+
+TEST(RngTest, ZipfFavorsHead) {
+  Rng rng(29);
+  int head = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) head += (rng.Zipf(100, 1.0) < 10);
+  // Top-10 of a 100-item Zipf(1.0) carries well over half the mass.
+  EXPECT_GT(head, n / 2);
+}
+
+// ---------- Distributions ----------
+
+TEST(DistributionsTest, ZipfSamplerMatchesHeadMass) {
+  Rng rng(31);
+  ZipfSampler zipf(1000, 1.0);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) head += (zipf.Sample(rng) == 0);
+  // P(rank 0) = 1/H(1000) ~ 0.1336.
+  EXPECT_NEAR(static_cast<double>(head) / n, 0.1336, 0.02);
+}
+
+TEST(DistributionsTest, DiscreteSamplerRespectsZeros) {
+  Rng rng(37);
+  DiscreteSampler sampler({0.0, 2.0, 0.0, 6.0});
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.75, 0.02);
+}
+
+// ---------- TablePrinter ----------
+
+TEST(TablePrinterTest, RendersAlignedRows) {
+  TablePrinter table("Table X: demo");
+  table.SetHeader({"system", "P", "R"});
+  table.AddRow({"KBQA", TablePrinter::Num(0.925, 2), TablePrinter::Int(42)});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(out.find("KBQA"), std::string::npos);
+  EXPECT_NE(out.find("0.93"), std::string::npos);  // rounded
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(0.5, 2), "0.50");
+  EXPECT_EQ(TablePrinter::Num(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(TablePrinter::Int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace kbqa
