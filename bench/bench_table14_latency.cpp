@@ -11,7 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -109,18 +111,23 @@ void BM_SynonymQa_DeannaFamily(benchmark::State& state) {
 }
 BENCHMARK(BM_SynonymQa_DeannaFamily)->Unit(benchmark::kMicrosecond);
 
+const corpus::World& ScalingWorld() {
+  static const corpus::World* const kWorld = [] {
+    corpus::WorldConfig world_config;
+    world_config.schema.scale = 0.15;
+    return new corpus::World(corpus::GenerateWorld(world_config));
+  }();
+  return *kWorld;
+}
+
 /// Offline-procedure scaling: full Train() over increasing corpus sizes.
 void BM_OfflineTraining(benchmark::State& state) {
-  corpus::WorldConfig world_config;
-  world_config.schema.scale = 0.15;
-  static const corpus::World* const kWorld =
-      new corpus::World(corpus::GenerateWorld(world_config));
   corpus::QaGenConfig corpus_config;
   corpus_config.num_pairs = static_cast<size_t>(state.range(0));
   corpus::QaCorpus corpus =
-      corpus::GenerateTrainingCorpus(*kWorld, corpus_config);
+      corpus::GenerateTrainingCorpus(ScalingWorld(), corpus_config);
   for (auto _ : state) {
-    core::KbqaSystem kbqa(kWorld);
+    core::KbqaSystem kbqa(&ScalingWorld());
     benchmark::DoNotOptimize(kbqa.Train(corpus));
   }
   state.SetItemsProcessed(state.iterations() * corpus.size());
@@ -130,6 +137,104 @@ BENCHMARK(BM_OfflineTraining)
     ->Arg(8000)
     ->Arg(32000)
     ->Unit(benchmark::kMillisecond);
+
+/// Offline-procedure thread scaling: Train() over a fixed corpus at 1/2/N
+/// worker threads (bit-identical θ across rows — only wall clock moves).
+void BM_OfflineTrainingThreads(benchmark::State& state) {
+  corpus::QaGenConfig corpus_config;
+  corpus_config.num_pairs = 8000;
+  corpus::QaCorpus corpus =
+      corpus::GenerateTrainingCorpus(ScalingWorld(), corpus_config);
+  core::KbqaOptions options;
+  options.em.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::KbqaSystem kbqa(&ScalingWorld(), options);
+    benchmark::DoNotOptimize(kbqa.Train(corpus));
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_OfflineTrainingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Online throughput serving: the batched AnswerAll entry point at 1/2/N
+/// worker threads over the Table 14 question set.
+void BM_AnswerAllThroughput(benchmark::State& state) {
+  const auto& questions = Questions();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Experiment().kbqa().AnswerAll(questions, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * questions.size());
+}
+BENCHMARK(BM_AnswerAllThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Measures the parallel speedup curve directly (offline Train and online
+/// AnswerAll at 1/2/4 threads) and emits BENCH_parallel.json.
+void EmitParallelSpeedupJson() {
+  std::printf("[parallel] measuring offline/online thread scaling...\n");
+  corpus::QaGenConfig corpus_config;
+  corpus_config.num_pairs = 8000;
+  corpus::QaCorpus corpus =
+      corpus::GenerateTrainingCorpus(ScalingWorld(), corpus_config);
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  std::vector<double> train_seconds;
+  for (int threads : thread_counts) {
+    core::KbqaOptions options;
+    options.em.num_threads = threads;
+    kbqa::Timer timer;
+    core::KbqaSystem kbqa(&ScalingWorld(), options);
+    if (!kbqa.Train(corpus).ok()) std::exit(1);
+    train_seconds.push_back(timer.ElapsedSeconds());
+  }
+
+  const auto& questions = Questions();
+  constexpr int kBatchReps = 20;
+  std::vector<double> qps;
+  for (int threads : thread_counts) {
+    kbqa::Timer timer;
+    for (int rep = 0; rep < kBatchReps; ++rep) {
+      benchmark::DoNotOptimize(Experiment().kbqa().AnswerAll(questions,
+                                                             threads));
+    }
+    qps.push_back(static_cast<double>(questions.size()) * kBatchReps /
+                  timer.ElapsedSeconds());
+  }
+
+  FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"offline_training\": {\"corpus_pairs\": %zu, \"runs\": [",
+               corpus.size());
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(out,
+                 "%s\n    {\"threads\": %d, \"seconds\": %.3f, "
+                 "\"speedup\": %.2f}",
+                 i ? "," : "", thread_counts[i], train_seconds[i],
+                 train_seconds[0] / train_seconds[i]);
+  }
+  std::fprintf(out, "\n  ]},\n  \"answer_all\": {\"questions\": %zu, "
+               "\"runs\": [", questions.size());
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(out,
+                 "%s\n    {\"threads\": %d, \"questions_per_sec\": %.1f, "
+                 "\"speedup\": %.2f}",
+                 i ? "," : "", thread_counts[i], qps[i], qps[i] / qps[0]);
+  }
+  std::fprintf(out, "\n  ]}\n}\n");
+  std::fclose(out);
+  std::printf("[parallel] wrote BENCH_parallel.json\n");
+}
 
 }  // namespace
 
@@ -145,5 +250,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  EmitParallelSpeedupJson();
   return 0;
 }

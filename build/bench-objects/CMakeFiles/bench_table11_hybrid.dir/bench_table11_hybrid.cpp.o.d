@@ -220,20 +220,29 @@ bench-objects/CMakeFiles/bench_table11_hybrid.dir/bench_table11_hybrid.cpp.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/nlp/ner.h /root/repo/src/core/qa_interface.h \
- /root/repo/src/core/online.h /root/repo/src/core/template_store.h \
- /root/repo/src/taxonomy/taxonomy.h /root/repo/src/corpus/qa_corpus.h \
- /root/repo/src/corpus/world.h /root/repo/src/corpus/schema.h \
- /root/repo/src/corpus/name_generator.h /root/repo/src/util/rng.h \
- /root/repo/src/baselines/graph_qa.h \
+ /root/repo/src/core/online.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/template_store.h /root/repo/src/taxonomy/taxonomy.h \
+ /root/repo/src/corpus/qa_corpus.h /root/repo/src/corpus/world.h \
+ /root/repo/src/corpus/schema.h /root/repo/src/corpus/name_generator.h \
+ /root/repo/src/util/rng.h /root/repo/src/baselines/graph_qa.h \
  /root/repo/src/baselines/synonym_lexicon.h \
  /root/repo/src/baselines/keyword_qa.h /root/repo/src/baselines/rule_qa.h \
  /root/repo/src/baselines/synonym_qa.h /root/repo/src/core/kbqa_system.h \
  /root/repo/src/core/decomposer.h /root/repo/src/nlp/pattern.h \
- /root/repo/src/core/em_learner.h /root/repo/src/core/model_io.h \
+ /root/repo/src/core/em_learner.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/model_io.h \
  /root/repo/src/core/variants.h /root/repo/src/corpus/qa_generator.h \
  /root/repo/src/corpus/world_generator.h /root/repo/src/eval/runner.h \
  /root/repo/src/eval/metrics.h /root/repo/src/util/table_printer.h \
  /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

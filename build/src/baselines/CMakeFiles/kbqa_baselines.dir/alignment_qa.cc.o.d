@@ -182,6 +182,10 @@ src/baselines/CMakeFiles/kbqa_baselines.dir/alignment_qa.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nlp/ner.h \
  /root/repo/src/core/qa_interface.h /root/repo/src/core/online.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
  /root/repo/src/core/template_store.h /root/repo/src/taxonomy/taxonomy.h \
  /root/repo/src/corpus/qa_corpus.h /root/repo/src/corpus/world.h \
  /root/repo/src/corpus/schema.h /root/repo/src/corpus/name_generator.h \

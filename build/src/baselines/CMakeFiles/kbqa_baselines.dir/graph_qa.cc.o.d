@@ -184,6 +184,10 @@ src/baselines/CMakeFiles/kbqa_baselines.dir/graph_qa.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/qa_interface.h /root/repo/src/core/online.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
  /root/repo/src/core/template_store.h /root/repo/src/taxonomy/taxonomy.h \
  /root/repo/src/corpus/world.h /root/repo/src/corpus/schema.h \
  /root/repo/src/corpus/name_generator.h /root/repo/src/util/rng.h \

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/kbqa_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/kbqa_util.dir/status.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/kbqa_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/kbqa_util.dir/strings.cc.o.d"
   "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/kbqa_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/kbqa_util.dir/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/kbqa_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/kbqa_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

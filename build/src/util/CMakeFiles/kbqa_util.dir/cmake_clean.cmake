@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/kbqa_util.dir/strings.cc.o.d"
   "CMakeFiles/kbqa_util.dir/table_printer.cc.o"
   "CMakeFiles/kbqa_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/kbqa_util.dir/thread_pool.cc.o"
+  "CMakeFiles/kbqa_util.dir/thread_pool.cc.o.d"
   "libkbqa_util.a"
   "libkbqa_util.pdb"
 )

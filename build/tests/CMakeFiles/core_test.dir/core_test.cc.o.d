@@ -301,4 +301,13 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/util/status.h /root/repo/src/core/em_learner.h \
  /root/repo/src/core/ev_extraction.h /root/repo/src/nlp/ner.h \
  /root/repo/src/core/template_store.h /root/repo/src/corpus/qa_corpus.h \
- /root/repo/src/taxonomy/taxonomy.h /root/repo/src/nlp/tokenizer.h
+ /root/repo/src/taxonomy/taxonomy.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/nlp/tokenizer.h

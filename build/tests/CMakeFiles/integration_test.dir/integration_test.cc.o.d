@@ -302,15 +302,26 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/rdf/knowledge_base.h /root/repo/src/rdf/dictionary.h \
  /root/repo/src/util/status.h /root/repo/src/nlp/ner.h \
  /root/repo/src/core/qa_interface.h /root/repo/src/core/online.h \
- /root/repo/src/core/template_store.h /root/repo/src/taxonomy/taxonomy.h \
- /root/repo/src/corpus/qa_corpus.h /root/repo/src/corpus/world.h \
- /root/repo/src/corpus/schema.h /root/repo/src/corpus/name_generator.h \
- /root/repo/src/util/rng.h /root/repo/src/baselines/graph_qa.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/template_store.h \
+ /root/repo/src/taxonomy/taxonomy.h /root/repo/src/corpus/qa_corpus.h \
+ /root/repo/src/corpus/world.h /root/repo/src/corpus/schema.h \
+ /root/repo/src/corpus/name_generator.h /root/repo/src/util/rng.h \
+ /root/repo/src/baselines/graph_qa.h \
  /root/repo/src/baselines/synonym_lexicon.h \
  /root/repo/src/baselines/keyword_qa.h /root/repo/src/baselines/rule_qa.h \
  /root/repo/src/baselines/synonym_qa.h /root/repo/src/core/kbqa_system.h \
  /root/repo/src/core/decomposer.h /root/repo/src/nlp/pattern.h \
- /root/repo/src/core/em_learner.h /root/repo/src/core/model_io.h \
+ /root/repo/src/core/em_learner.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/model_io.h \
  /root/repo/src/core/variants.h /root/repo/src/corpus/qa_generator.h \
  /root/repo/src/corpus/world_generator.h /root/repo/src/eval/runner.h \
  /root/repo/src/eval/metrics.h /root/repo/src/nlp/tokenizer.h

@@ -19,3 +19,4 @@ include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/edge_case_test[1]_include.cmake")
 include("/root/repo/build/tests/io_test[1]_include.cmake")
 include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")

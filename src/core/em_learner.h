@@ -12,6 +12,7 @@
 #include "rdf/expanded_predicate.h"
 #include "taxonomy/taxonomy.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace kbqa::core {
 
@@ -28,6 +29,11 @@ struct EmOptions {
   /// When false, EM stops after the θ⁰ initialization (Eq. 23) — the
   /// initialization-only ablation.
   bool run_em = true;
+  /// Worker threads for observation building and the E-step. The work is
+  /// split into a *fixed* number of statically ordered shards merged in
+  /// shard order, so the learned θ is bit-identical for any thread count
+  /// (see DESIGN.md "Threading model & determinism").
+  int num_threads = 1;
 };
 
 /// Diagnostics of a training run.
@@ -77,7 +83,8 @@ class EmLearner {
     std::vector<ZPair> z;
   };
 
-  void BuildObservations(const corpus::QaCorpus& corpus, TemplateStore* store,
+  void BuildObservations(ThreadPool* pool, const corpus::QaCorpus& corpus,
+                         TemplateStore* store,
                          std::vector<Observation>* observations,
                          EmStats* stats) const;
 

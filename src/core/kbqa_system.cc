@@ -107,6 +107,12 @@ AnswerResult KbqaSystem::Answer(const std::string& question) const {
   return online_->Answer(question);
 }
 
+std::vector<AnswerResult> KbqaSystem::AnswerAll(
+    const std::vector<std::string>& questions, int num_threads) const {
+  if (online_ == nullptr) return std::vector<AnswerResult>(questions.size());
+  return online_->AnswerAll(questions, num_threads);
+}
+
 AnswerResult KbqaSystem::AnswerVariant(const std::string& question) const {
   if (variants_ == nullptr) return AnswerResult{};
   return variants_->Answer(question);

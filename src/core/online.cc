@@ -1,13 +1,67 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/em_learner.h"
 #include "nlp/tokenizer.h"
 #include "rdf/query.h"
+#include "util/thread_pool.h"
 
 namespace kbqa::core {
+
+namespace {
+
+uint64_t CacheKey(rdf::TermId entity, rdf::PathId path) {
+  return (static_cast<uint64_t>(entity) << 32) | path;
+}
+
+/// The shared mention → entity → category → template walk of §3.3's
+/// candidate enumeration. AnswerTokens and IsPrimitiveBfq both iterate
+/// through here so the two cannot drift. `visit(mention, entity, p_t,
+/// template_id)` returns false to stop the walk early.
+template <typename Visitor>
+void VisitTemplateCandidates(const taxonomy::Taxonomy& taxonomy,
+                             const TemplateStore& store,
+                             const OnlineInference::Options& options,
+                             const std::vector<std::string>& tokens,
+                             const std::vector<nlp::Mention>& mentions,
+                             Visitor&& visit) {
+  for (const nlp::Mention& mention : mentions) {
+    std::vector<std::string> context;
+    context.reserve(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
+    }
+    for (rdf::TermId entity : mention.entities) {
+      std::vector<taxonomy::ScoredCategory> categories =
+          taxonomy.Conceptualize(entity, context);
+      if (categories.size() > options.max_categories_per_entity) {
+        categories.resize(options.max_categories_per_entity);
+      }
+      double cat_mass = 0;
+      for (const auto& sc : categories) {
+        if (sc.probability >= options.min_category_prob) {
+          cat_mass += sc.probability;
+        }
+      }
+      if (cat_mass <= 0) continue;
+
+      for (const auto& sc : categories) {
+        if (sc.probability < options.min_category_prob) continue;
+        auto t = store.Lookup(
+            MakeTemplateText(tokens, mention.begin, mention.end,
+                             taxonomy.CategoryName(sc.category)));
+        if (!t) continue;
+        const double p_t = sc.probability / cat_mass;
+        if (!visit(mention, entity, p_t, *t)) return;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
                                  const taxonomy::Taxonomy* taxonomy,
@@ -22,8 +76,56 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
       paths_(paths),
       options_(options) {}
 
+const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
+    rdf::TermId entity, rdf::PathId path,
+    std::vector<rdf::TermId>* scratch) const {
+  if (!options_.enable_value_cache) {
+    *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+    return *scratch;
+  }
+  const uint64_t key = CacheKey(entity, path);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = value_cache_.find(key);
+    // Mapped references are stable: the map is append-only and
+    // node-based, so concurrent inserts never invalidate them.
+    if (it != value_cache_.end()) return it->second;
+  }
+  std::vector<rdf::TermId> values =
+      rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  // try_emplace keeps the first writer's entry if another thread raced the
+  // same key (both computed identical values from the immutable KB).
+  auto [it, inserted] = value_cache_.try_emplace(key, std::move(values));
+  return it->second;
+}
+
+size_t OnlineInference::value_cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  return value_cache_.size();
+}
+
 AnswerResult OnlineInference::Answer(const std::string& question) const {
   return AnswerTokens(nlp::TokenizeQuestion(question));
+}
+
+std::vector<AnswerResult> OnlineInference::AnswerAll(
+    const std::vector<std::string>& questions, int num_threads) const {
+  std::vector<AnswerResult> results(questions.size());
+  ThreadPool pool(num_threads);
+  // Over-shard relative to the pool for load balancing; each question is
+  // answered independently into its own slot, so the sharding is
+  // unobservable in the output.
+  const size_t num_shards =
+      std::max<size_t>(1, static_cast<size_t>(pool.num_threads()) * 4);
+  ParallelFor(pool, questions.size(), num_shards,
+              [&](size_t shard, size_t begin, size_t end) {
+                (void)shard;
+                for (size_t i = begin; i < end; ++i) {
+                  results[i] = Answer(questions[i]);
+                }
+              });
+  return results;
 }
 
 AnswerResult OnlineInference::AnswerTokens(
@@ -43,43 +145,20 @@ AnswerResult OnlineInference::AnswerTokens(
     double best_term = 0;  // strongest single (e,t,p) contribution
     TemplateId best_template = kInvalidTemplate;
     rdf::PathId best_path = rdf::kInvalidPath;
+    rdf::TermId best_entity = rdf::kInvalidTerm;
   };
   std::unordered_map<rdf::TermId, ValueSupport> posterior;
+  std::vector<rdf::TermId> scratch;
 
-  for (const nlp::Mention& mention : mentions) {
-    std::vector<std::string> context;
-    context.reserve(tokens.size());
-    for (size_t i = 0; i < tokens.size(); ++i) {
-      if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
-    }
-    for (rdf::TermId entity : mention.entities) {
-      std::vector<taxonomy::ScoredCategory> categories =
-          taxonomy_->Conceptualize(entity, context);
-      if (categories.size() > options_.max_categories_per_entity) {
-        categories.resize(options_.max_categories_per_entity);
-      }
-      double cat_mass = 0;
-      for (const auto& sc : categories) {
-        if (sc.probability >= options_.min_category_prob) {
-          cat_mass += sc.probability;
-        }
-      }
-      if (cat_mass <= 0) continue;
-
-      for (const auto& sc : categories) {
-        if (sc.probability < options_.min_category_prob) continue;
-        auto t = store_->Lookup(
-            MakeTemplateText(tokens, mention.begin, mention.end,
-                             taxonomy_->CategoryName(sc.category)));
-        if (!t) continue;
+  VisitTemplateCandidates(
+      *taxonomy_, *store_, options_, tokens, mentions,
+      [&](const nlp::Mention&, rdf::TermId entity, double p_t, TemplateId t) {
         ++result.num_templates;
-        const double p_t = sc.probability / cat_mass;
-
-        for (const PredicateProb& pp : store_->Distribution(*t)) {
+        for (const PredicateProb& pp : store_->Distribution(t)) {
           if (pp.probability < options_.min_predicate_prob) continue;
           ++result.num_predicates;
-          std::vector<rdf::TermId> values =
-              rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(pp.path));
+          const std::vector<rdf::TermId>& values =
+              CachedObjects(entity, pp.path, &scratch);
           if (values.empty()) continue;
           const double p_v = 1.0 / static_cast<double>(values.size());
           ++result.num_grounded_predicates;
@@ -90,22 +169,23 @@ AnswerResult OnlineInference::AnswerTokens(
             support.score += term;
             if (term > support.best_term) {
               support.best_term = term;
-              support.best_template = *t;
+              support.best_template = t;
               support.best_path = pp.path;
+              support.best_entity = entity;
             }
           }
         }
-      }
-    }
-  }
+        return true;
+      });
 
   if (posterior.empty()) return result;
 
   result.ranked.reserve(posterior.size());
   for (const auto& [v, support] : posterior) {
-    result.ranked.push_back(
-        AnswerCandidate{v, support.score, support.best_template,
-                        support.best_path});
+    result.ranked.push_back(AnswerCandidate{v, support.score,
+                                            support.best_template,
+                                            support.best_path,
+                                            support.best_entity});
   }
   std::sort(result.ranked.begin(), result.ranked.end(),
             [](const AnswerCandidate& a, const AnswerCandidate& b) {
@@ -120,24 +200,15 @@ AnswerResult OnlineInference::AnswerTokens(
   result.value = kb_->IsLiteral(best.value) ? kb_->NodeString(best.value)
                                             : kb_->EntityName(best.value);
   result.predicate = paths_->ToString(best.best_path, *kb_);
-  // Emit the equivalent structured query. The winning entity is recovered
-  // from the strongest supporting mention (the value's best (e,t,p) term
-  // tracked it implicitly via best_path; re-derive by checking which
-  // candidate entity reaches the value through the path).
-  for (const nlp::Mention& mention : mentions) {
-    for (rdf::TermId entity : mention.entities) {
-      std::vector<rdf::TermId> check =
-          rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(best.best_path));
-      if (std::find(check.begin(), check.end(), best.value) != check.end()) {
-        result.sparql = rdf::QueryToString(rdf::BuildPathQuery(
-            *kb_, entity, paths_->GetPath(best.best_path)));
-        for (rdf::TermId v : check) {
-          result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
-                                                    : kb_->EntityName(v));
-        }
-        return result;
-      }
-    }
+  // Emit the equivalent structured query. The winning entity was tracked
+  // with best_term during scoring, so no re-query over the candidate
+  // entities is needed; its value set comes straight from the cache.
+  result.sparql = rdf::QueryToString(rdf::BuildPathQuery(
+      *kb_, best.best_entity, paths_->GetPath(best.best_path)));
+  for (rdf::TermId v : CachedObjects(best.best_entity, best.best_path,
+                                     &scratch)) {
+    result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
+                                              : kb_->EntityName(v));
   }
   return result;
 }
@@ -145,34 +216,21 @@ AnswerResult OnlineInference::AnswerTokens(
 bool OnlineInference::IsPrimitiveBfq(
     const std::vector<std::string>& tokens) const {
   std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
-  for (const nlp::Mention& mention : mentions) {
-    std::vector<std::string> context;
-    for (size_t i = 0; i < tokens.size(); ++i) {
-      if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
-    }
-    for (rdf::TermId entity : mention.entities) {
-      std::vector<taxonomy::ScoredCategory> categories =
-          taxonomy_->Conceptualize(entity, context);
-      if (categories.size() > options_.max_categories_per_entity) {
-        categories.resize(options_.max_categories_per_entity);
-      }
-      for (const auto& sc : categories) {
-        if (sc.probability < options_.min_category_prob) continue;
-        auto t = store_->Lookup(
-            MakeTemplateText(tokens, mention.begin, mention.end,
-                             taxonomy_->CategoryName(sc.category)));
-        if (!t) continue;
-        for (const PredicateProb& pp : store_->Distribution(*t)) {
+  bool found = false;
+  std::vector<rdf::TermId> scratch;
+  VisitTemplateCandidates(
+      *taxonomy_, *store_, options_, tokens, mentions,
+      [&](const nlp::Mention&, rdf::TermId entity, double, TemplateId t) {
+        for (const PredicateProb& pp : store_->Distribution(t)) {
           if (pp.probability < options_.min_predicate_prob) continue;
-          if (!rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(pp.path))
-                   .empty()) {
-            return true;
+          if (!CachedObjects(entity, pp.path, &scratch).empty()) {
+            found = true;
+            return false;
           }
         }
-      }
-    }
-  }
-  return false;
+        return true;
+      });
+  return found;
 }
 
 }  // namespace kbqa::core

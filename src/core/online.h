@@ -1,7 +1,10 @@
 #ifndef KBQA_CORE_ONLINE_H_
 #define KBQA_CORE_ONLINE_H_
 
+#include <cstdint>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/template_store.h"
@@ -16,9 +19,10 @@ namespace kbqa::core {
 struct AnswerCandidate {
   rdf::TermId value = rdf::kInvalidTerm;
   double score = 0;
-  /// Strongest (template, predicate) support for this value.
+  /// Strongest (entity, template, predicate) support for this value.
   TemplateId best_template = kInvalidTemplate;
   rdf::PathId best_path = rdf::kInvalidPath;
+  rdf::TermId best_entity = rdf::kInvalidTerm;
 };
 
 /// The outcome of answering one question.
@@ -58,6 +62,12 @@ struct AnswerResult {
 ///   P(v|q) = Σ_{e,t,p} P(e|q) P(t|e,q) P(p|t) P(v|e,p)
 /// and returns argmax_v. Complexity O(|P|) — entity/category/value
 /// fan-outs are bounded constants; only the predicate enumeration scales.
+///
+/// Thread safety: all answering methods are const and safe to call
+/// concurrently. The only mutable state is the V(e, p+) value cache, which
+/// is per-instance, guarded by a shared_mutex, and append-only — valid
+/// forever because the knowledge base is immutable after load (see
+/// DESIGN.md "Threading model & determinism").
 class OnlineInference {
  public:
   struct Options {
@@ -67,6 +77,10 @@ class OnlineInference {
     double min_predicate_prob = 1e-3;
     /// Minimum posterior score to consider the question answered.
     double min_answer_score = 1e-6;
+    /// Memoize (entity, path) -> values lookups across questions. Results
+    /// are identical either way (the KB is immutable); disabling exists
+    /// for regression tests and cache-benefit measurements.
+    bool enable_value_cache = true;
   };
 
   /// All references must outlive the inference engine.
@@ -81,18 +95,41 @@ class OnlineInference {
   /// Token-level variant (reused by the decomposer on question spans).
   AnswerResult AnswerTokens(const std::vector<std::string>& tokens) const;
 
+  /// Batched throughput entry point: answers every question, sharded over
+  /// `num_threads` workers. results[i] corresponds to questions[i] and is
+  /// identical to Answer(questions[i]) for any thread count (questions are
+  /// independent and the engine is immutable during answering).
+  std::vector<AnswerResult> AnswerAll(const std::vector<std::string>& questions,
+                                      int num_threads) const;
+
   /// Cheap answerability probe: true when some entity+template resolves to
   /// a learned predicate with at least one value — the δ(q) primitive-BFQ
   /// indicator of the decomposition DP (§5.3).
   bool IsPrimitiveBfq(const std::vector<std::string>& tokens) const;
 
+  /// Number of (entity, path) pairs currently memoized.
+  size_t value_cache_size() const;
+
  private:
+  /// V(e, p+) through the memo cache. On a miss (or with the cache
+  /// disabled) the path walk lands in `*scratch` and the returned reference
+  /// points there; on a hit the reference points into the cache (stable:
+  /// the map is append-only and node-based). The reference is valid until
+  /// the next call with the same `scratch`.
+  const std::vector<rdf::TermId>& CachedObjects(
+      rdf::TermId entity, rdf::PathId path,
+      std::vector<rdf::TermId>* scratch) const;
+
   const rdf::KnowledgeBase* kb_;
   const taxonomy::Taxonomy* taxonomy_;
   const nlp::GazetteerNer* ner_;
   const TemplateStore* store_;
   const rdf::PathDictionary* paths_;
   Options options_;
+
+  mutable std::shared_mutex cache_mu_;
+  /// Key: entity in the high 32 bits, path in the low 32.
+  mutable std::unordered_map<uint64_t, std::vector<rdf::TermId>> value_cache_;
 };
 
 }  // namespace kbqa::core

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+namespace kbqa {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    DrainShards();
+  }
+}
+
+void ThreadPool::DrainShards() {
+  for (;;) {
+    size_t shard;
+    const std::function<void(size_t)>* job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == nullptr || next_shard_ >= num_shards_) return;
+      shard = next_shard_++;
+      ++shards_in_flight_;
+      job = job_;
+    }
+    (*job)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --shards_in_flight_;
+      if (next_shard_ >= num_shards_ && shards_in_flight_ == 0) {
+        job_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunShards(size_t num_shards,
+                           const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline, no synchronization.
+    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    next_shard_ = 0;
+    num_shards_ = num_shards;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  DrainShards();  // The caller is a worker too.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_done_.wait(lock, [&] {
+      return next_shard_ >= num_shards_ && shards_in_flight_ == 0;
+    });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace kbqa

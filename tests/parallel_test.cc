@@ -1,0 +1,252 @@
+// The threading layer's determinism contract (DESIGN.md "Threading model &
+// determinism"): the thread pool's static sharding, bit-identical EM
+// training for any thread count, AnswerAll == Answer per question, and the
+// online value cache being unobservable in results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/kbqa_system.h"
+#include "core/online.h"
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "nlp/tokenizer.h"
+#include "util/thread_pool.h"
+
+namespace kbqa {
+namespace {
+
+// ---------- ThreadPool / sharding primitives ----------
+
+TEST(ShardOfTest, PartitionsRangeContiguously) {
+  for (size_t n : {0u, 1u, 7u, 32u, 100u, 1001u}) {
+    for (size_t shards : {1u, 2u, 3u, 32u}) {
+      size_t expected_begin = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        ShardRange r = ShardOf(n, s, shards);
+        EXPECT_EQ(r.begin, expected_begin) << n << "/" << shards << "#" << s;
+        EXPECT_LE(r.begin, r.end);
+        expected_begin = r.end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryShardExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    pool.RunShards(hits.size(), [&](size_t shard) { ++hits[shard]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunShards(16, [&](size_t shard) { sum += static_cast<long>(shard); });
+  }
+  EXPECT_EQ(sum.load(), 50 * (15 * 16 / 2));
+}
+
+TEST(ParallelForTest, CoversRangeWithLocalWrites) {
+  ThreadPool pool(4);
+  std::vector<int> marks(1000, 0);
+  ParallelFor(pool, marks.size(), 32, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) marks[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(marks.begin(), marks.end(), 0), 1000);
+}
+
+TEST(ParallelReduceTest, MergesInShardOrderForAnyPoolSize) {
+  // The merged sequence must be 0..n-1 in order regardless of threads —
+  // the property the EM reduction's bit-identity rests on.
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<size_t> merged = ParallelReduce(
+        pool, size_t{500}, size_t{13}, std::vector<size_t>{},
+        [](size_t, size_t begin, size_t end) {
+          std::vector<size_t> part;
+          for (size_t i = begin; i < end; ++i) part.push_back(i);
+          return part;
+        },
+        [](std::vector<size_t>& acc, std::vector<size_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+    ASSERT_EQ(merged.size(), 500u);
+    for (size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i], i);
+  }
+}
+
+// ---------- End-to-end determinism over a trained system ----------
+
+class ParallelSystemTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const eval::Experiment* const kExperiment = [] {
+      auto built = eval::Experiment::Build(eval::ExperimentConfig::Small());
+      if (!built.ok()) {
+        ADD_FAILURE() << built.status();
+        return static_cast<eval::Experiment*>(nullptr);
+      }
+      return const_cast<eval::Experiment*>(
+          std::move(built).value().release());
+    }();
+    return *kExperiment;
+  }
+
+  static std::vector<std::string> BenchmarkQuestions(size_t n, uint64_t seed) {
+    corpus::BenchmarkConfig config;
+    config.num_questions = n;
+    config.seed = seed;
+    std::vector<std::string> questions;
+    for (const corpus::QaPair& pair :
+         corpus::GenerateBenchmark(experiment().world(), config)
+             .questions.pairs) {
+      questions.push_back(pair.question);
+    }
+    return questions;
+  }
+};
+
+TEST_F(ParallelSystemTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  // The shared experiment trains with the default single thread; retrain
+  // with 2 and 8 threads and demand bit-identical θ, template ids,
+  // frequencies, and per-iteration log-likelihoods.
+  const core::TemplateStore& reference =
+      experiment().kbqa().template_store();
+  const core::EmStats& ref_stats = experiment().kbqa().em_stats();
+
+  for (int threads : {2, 8}) {
+    core::KbqaOptions options = experiment().kbqa().options();
+    options.em.num_threads = threads;
+    core::KbqaSystem system(&experiment().world(), options);
+    ASSERT_TRUE(system.Train(experiment().train_corpus()).ok());
+
+    const core::TemplateStore& store = system.template_store();
+    const core::EmStats& stats = system.em_stats();
+    ASSERT_EQ(store.num_templates(), reference.num_templates())
+        << threads << " threads";
+    for (core::TemplateId t = 0; t < store.num_templates(); ++t) {
+      EXPECT_EQ(store.TemplateText(t), reference.TemplateText(t));
+      EXPECT_EQ(store.Frequency(t), reference.Frequency(t));
+      auto dist = store.Distribution(t);
+      auto ref_dist = reference.Distribution(t);
+      ASSERT_EQ(dist.size(), ref_dist.size()) << store.TemplateText(t);
+      for (size_t i = 0; i < dist.size(); ++i) {
+        EXPECT_EQ(dist[i].path, ref_dist[i].path);
+        EXPECT_EQ(dist[i].probability, ref_dist[i].probability)
+            << store.TemplateText(t) << " entry " << i << " (bit-exact)";
+      }
+    }
+    EXPECT_EQ(stats.num_observations, ref_stats.num_observations);
+    EXPECT_EQ(stats.iterations, ref_stats.iterations);
+    ASSERT_EQ(stats.log_likelihood.size(), ref_stats.log_likelihood.size());
+    for (size_t i = 0; i < stats.log_likelihood.size(); ++i) {
+      EXPECT_EQ(stats.log_likelihood[i], ref_stats.log_likelihood[i])
+          << "iteration " << i << " (bit-exact)";
+    }
+  }
+}
+
+TEST_F(ParallelSystemTest, AnswerAllMatchesAnswerForAnyThreadCount) {
+  std::vector<std::string> questions = BenchmarkQuestions(40, 8181);
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+
+  std::vector<core::AnswerResult> reference;
+  reference.reserve(questions.size());
+  for (const std::string& q : questions) reference.push_back(kbqa.Answer(q));
+
+  for (int threads : {1, 2, 8}) {
+    std::vector<core::AnswerResult> batched =
+        kbqa.AnswerAll(questions, threads);
+    ASSERT_EQ(batched.size(), reference.size());
+    for (size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i].answered, reference[i].answered) << questions[i];
+      EXPECT_EQ(batched[i].value, reference[i].value) << questions[i];
+      EXPECT_EQ(batched[i].score, reference[i].score) << questions[i];
+      EXPECT_EQ(batched[i].sparql, reference[i].sparql) << questions[i];
+      EXPECT_EQ(batched[i].values, reference[i].values) << questions[i];
+      EXPECT_EQ(batched[i].ranked.size(), reference[i].ranked.size());
+    }
+  }
+}
+
+TEST_F(ParallelSystemTest, CachedInferenceMatchesUncached) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  core::OnlineInference::Options cached_options = kbqa.options().online;
+  cached_options.enable_value_cache = true;
+  core::OnlineInference::Options uncached_options = kbqa.options().online;
+  uncached_options.enable_value_cache = false;
+
+  core::OnlineInference cached(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), cached_options);
+  core::OnlineInference uncached(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), uncached_options);
+
+  // Two passes over the same questions: the second pass hits a warm cache
+  // and must still agree field-for-field with the uncached engine.
+  std::vector<std::string> questions = BenchmarkQuestions(30, 9292);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& q : questions) {
+      core::AnswerResult a = cached.Answer(q);
+      core::AnswerResult b = uncached.Answer(q);
+      EXPECT_EQ(a.answered, b.answered) << q;
+      EXPECT_EQ(a.value, b.value) << q;
+      EXPECT_EQ(a.score, b.score) << q;
+      EXPECT_EQ(a.predicate, b.predicate) << q;
+      EXPECT_EQ(a.sparql, b.sparql) << q;
+      EXPECT_EQ(a.values, b.values) << q;
+      EXPECT_EQ(a.num_predicates, b.num_predicates) << q;
+      EXPECT_EQ(a.num_values, b.num_values) << q;
+      ASSERT_EQ(a.ranked.size(), b.ranked.size()) << q;
+      for (size_t i = 0; i < a.ranked.size(); ++i) {
+        EXPECT_EQ(a.ranked[i].value, b.ranked[i].value);
+        EXPECT_EQ(a.ranked[i].score, b.ranked[i].score);
+        EXPECT_EQ(a.ranked[i].best_entity, b.ranked[i].best_entity);
+      }
+
+      std::vector<std::string> tokens = nlp::TokenizeQuestion(q);
+      EXPECT_EQ(cached.IsPrimitiveBfq(tokens), uncached.IsPrimitiveBfq(tokens))
+          << q;
+    }
+  }
+  EXPECT_GT(cached.value_cache_size(), 0u);
+  EXPECT_EQ(uncached.value_cache_size(), 0u);
+}
+
+TEST_F(ParallelSystemTest, BatchedRunnerMatchesSequentialRunner) {
+  corpus::BenchmarkSet set = experiment().MakeQald1();
+  eval::RunResult sequential =
+      eval::RunBenchmark(experiment().kbqa(), set);
+  for (int threads : {1, 4}) {
+    eval::RunResult batched =
+        eval::RunBenchmarkBatched(experiment().kbqa(), set, threads);
+    EXPECT_EQ(batched.counts.pro, sequential.counts.pro);
+    EXPECT_EQ(batched.counts.ri, sequential.counts.ri);
+    EXPECT_EQ(batched.counts.par, sequential.counts.par);
+    EXPECT_EQ(batched.counts.total, sequential.counts.total);
+    EXPECT_EQ(batched.bfq_only.ri, sequential.bfq_only.ri);
+    ASSERT_EQ(batched.judged.size(), sequential.judged.size());
+    for (size_t i = 0; i < batched.judged.size(); ++i) {
+      EXPECT_EQ(batched.judged[i].judgment, sequential.judged[i].judgment);
+      EXPECT_EQ(batched.judged[i].system_answer,
+                sequential.judged[i].system_answer);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kbqa
