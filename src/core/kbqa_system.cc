@@ -38,9 +38,12 @@ Status KbqaSystem::Train(const corpus::QaCorpus& corpus) {
     std::sort(seeds_.begin(), seeds_.end());  // Determinism.
   }
 
-  // 2. Predicate expansion (§6).
+  // 2. Predicate expansion (§6). An unset expansion thread count inherits
+  //    the EM worker pool size, so one option drives both phases.
+  rdf::ExpansionOptions expansion = options_.expansion;
+  if (expansion.num_threads == 0) expansion.num_threads = options_.em.num_threads;
   auto ekb = rdf::ExpandedKb::Build(world_->kb, seeds_, world_->name_like,
-                                    options_.expansion);
+                                    expansion);
   if (!ekb.ok()) return ekb.status();
   ekb_ = std::make_unique<rdf::ExpandedKb>(std::move(ekb).value());
 

@@ -5,7 +5,7 @@
 namespace kbqa::rdf {
 
 TermId Dictionary::Intern(std::string_view term) {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   assert(terms_.size() < kInvalidTerm);
   TermId id = static_cast<TermId>(terms_.size());
@@ -15,9 +15,14 @@ TermId Dictionary::Intern(std::string_view term) {
 }
 
 std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+void Dictionary::Reserve(size_t n) {
+  index_.reserve(n);
+  terms_.reserve(n);
 }
 
 }  // namespace kbqa::rdf

@@ -2,6 +2,7 @@
 #define KBQA_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -16,6 +17,23 @@ namespace kbqa::rdf {
 /// this substrate targets, and half the index footprint of 64-bit ids.
 using TermId = uint32_t;
 inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+
+/// Transparent string hasher so the dictionary index supports heterogeneous
+/// lookup: `Lookup(string_view)` probes the map without materializing a
+/// `std::string` key (the old per-lookup allocation showed up in the BFS
+/// and N-Triples scan profiles).
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Bidirectional string<->id dictionary, the first stage of every RDF engine
 /// (Trinity.RDF, RDF-3X, Virtuoso all dictionary-encode terms). Interning is
@@ -35,17 +53,21 @@ class Dictionary {
   /// Returns the id for `term`, interning it if new.
   TermId Intern(std::string_view term);
 
-  /// Returns the id for `term` or nullopt when absent. Never interns.
+  /// Returns the id for `term` or nullopt when absent. Never interns and
+  /// never allocates (heterogeneous probe).
   std::optional<TermId> Lookup(std::string_view term) const;
 
   /// Returns the string for a valid id. Precondition: id < size().
   const std::string& GetString(TermId id) const { return terms_[id]; }
 
+  /// Pre-sizes both sides for `n` terms (snapshot load path).
+  void Reserve(size_t n);
+
   size_t size() const { return terms_.size(); }
   bool empty() const { return terms_.empty(); }
 
  private:
-  std::unordered_map<std::string, TermId> index_;
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> terms_;
 };
 

@@ -26,6 +26,12 @@ using PathId = uint32_t;
 inline constexpr PathId kInvalidPath = std::numeric_limits<PathId>::max();
 
 /// Bidirectional PredPath <-> PathId dictionary.
+///
+/// Paths are interned as a prefix trie over (parent PathId, PredId)
+/// extension edges, so the BFS hot path — extend an already-interned path
+/// by one predicate — is a single integer-keyed hash probe via
+/// InternExtension(), with no string key built and no path vector copied
+/// on a hit. Interning a path interns its prefixes.
 class PathDictionary {
  public:
   PathDictionary() = default;
@@ -34,8 +40,16 @@ class PathDictionary {
   PathDictionary(PathDictionary&&) = default;
   PathDictionary& operator=(PathDictionary&&) = default;
 
+  /// Interns the one-predicate extension of `parent` (kInvalidPath for the
+  /// empty path). O(1); allocates only when the extension is new.
+  PathId InternExtension(PathId parent, PredId p);
+
+  /// Interns a full path (and, as a side effect, each of its prefixes).
   PathId Intern(const PredPath& path);
+
+  /// Trie walk; never interns and never allocates.
   std::optional<PathId> Lookup(const PredPath& path) const;
+
   const PredPath& GetPath(PathId id) const { return paths_[id]; }
   size_t size() const { return paths_.size(); }
 
@@ -43,9 +57,8 @@ class PathDictionary {
   std::string ToString(PathId id, const KnowledgeBase& kb) const;
 
  private:
-  static std::string Key(const PredPath& path);
-
-  std::unordered_map<std::string, PathId> index_;
+  // (parent + 1, predicate) packed into one key; 0 encodes the empty path.
+  std::unordered_map<uint64_t, PathId> ext_index_;
   std::vector<PredPath> paths_;
 };
 
@@ -70,6 +83,11 @@ struct ExpansionOptions {
   /// materializes 21M triples for a 11.5B-triple KB thanks to seed
   /// reduction).
   size_t max_triples = std::numeric_limits<size_t>::max();
+  /// Worker threads for the per-round frontier scan. Values < 1 mean 1
+  /// here; KbqaSystem maps 0 to its EM thread count. The produced triple
+  /// set AND the PathId numbering are bit-identical for any value (fixed
+  /// shard split, shard-ordered merge, serial commit).
+  int num_threads = 0;
 };
 
 /// Materialized set of expanded triples reachable from a seed entity set —
@@ -78,7 +96,9 @@ struct ExpansionOptions {
 /// The BFS is round-based exactly as the paper describes: round r joins the
 /// round-(r-1) frontier objects against subjects of the base KB, so the KB
 /// is scanned k times and only frontier state is held. Complexity
-/// O(|K| + #spo); memory O(#spo).
+/// O(|K| + #spo); memory O(#spo). Each round's frontier scan is sharded
+/// across a thread pool; discoveries are committed serially in shard order,
+/// keeping the output deterministic (see DESIGN.md).
 class ExpandedKb {
  public:
   /// Runs the expansion from `seeds` (the paper seeds with entities that
@@ -96,8 +116,8 @@ class ExpandedKb {
   /// hash index. Only the frontier and the discovered (s, p+, o) triples
   /// are held in memory — O(#spo) memory, O(k·|K|) I/O. `kb` is used for
   /// its dictionaries and node-kind flags only; its adjacency is never
-  /// touched. Produces exactly the same triples as Build() (asserted by
-  /// the property tests).
+  /// touched. Line blocks are parsed and joined in parallel; produces
+  /// exactly the same triples as Build() (asserted by the property tests).
   static Result<ExpandedKb> BuildFromDisk(
       const KnowledgeBase& kb, const std::string& ntriples_path,
       const std::vector<TermId>& seeds,
@@ -127,6 +147,15 @@ class ExpandedKb {
 
  private:
   ExpandedKb() = default;
+
+  /// Applies one round's discoveries in deterministic order: interns paths,
+  /// records admissible triples (enforcing the budget), and builds the next
+  /// frontier. Shared by Build and BuildFromDisk.
+  struct Discovery;
+  struct WalkEntry;
+  Status CommitDiscoveries(const std::vector<Discovery>& discoveries,
+                           size_t* triples, size_t max_triples,
+                           std::vector<WalkEntry>* next);
 
   PathDictionary paths_;
   std::unordered_map<TermId, std::vector<std::pair<PathId, TermId>>> by_s_;

@@ -5,11 +5,29 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/thread_pool.h"
+
 namespace kbqa::rdf {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4b42514152444631ULL;  // "KBQARDF1"
+constexpr uint64_t kMagicV1 = 0x4b42514152444631ULL;  // "KBQARDF1"
+constexpr uint64_t kMagicV2 = 0x4b42514152444632ULL;  // "KBQARDF2"
+
+// Sanity caps for snapshot headers: reject sizes no plausible snapshot
+// reaches before attempting a huge allocation on a corrupt file.
+constexpr uint64_t kMaxCount = 1ULL << 32;
+constexpr uint64_t kMaxBlobBytes = 1ULL << 34;
+
+// Fixed shard count for the Freeze() counting-sort passes. A constant —
+// never derived from the thread count — so the shard split, and with it
+// every intermediate and final array, is bit-identical for any pool size
+// (the determinism contract of DESIGN.md §5).
+constexpr size_t kFreezeShards = 16;
+
+static_assert(std::is_trivially_copyable_v<PredicateObject> &&
+                  sizeof(PredicateObject) == 8,
+              "snapshot format writes PredicateObject arrays byte-for-byte");
 
 // Minimal buffered binary writer/reader for Save/Load. Little-endian only
 // (all supported platforms); sizes written as uint64.
@@ -18,17 +36,13 @@ class BinaryWriter {
   explicit BinaryWriter(std::FILE* f) : f_(f) {}
   bool ok() const { return ok_; }
 
-  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
-  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
-  void WriteString(const std::string& s) {
-    WriteU64(s.size());
-    WriteRaw(s.data(), s.size());
+  void WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+  void WriteBytes(const void* data, size_t n) {
+    if (ok_ && n > 0 && std::fwrite(data, 1, n, f_) != n) ok_ = false;
   }
 
  private:
-  void WriteRaw(const void* data, size_t n) {
-    if (ok_ && n > 0 && std::fwrite(data, 1, n, f_) != n) ok_ = false;
-  }
   std::FILE* f_;
   bool ok_ = true;
 };
@@ -40,32 +54,108 @@ class BinaryReader {
 
   uint64_t ReadU64() {
     uint64_t v = 0;
-    ReadRaw(&v, sizeof(v));
+    ReadBytes(&v, sizeof(v));
     return v;
   }
   uint32_t ReadU32() {
     uint32_t v = 0;
-    ReadRaw(&v, sizeof(v));
+    ReadBytes(&v, sizeof(v));
     return v;
   }
-  std::string ReadString() {
-    uint64_t n = ReadU64();
-    if (!ok_ || n > (1ULL << 32)) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(n, '\0');
-    ReadRaw(s.data(), n);
-    return s;
+  void ReadBytes(void* data, size_t n) {
+    if (ok_ && n > 0 && std::fread(data, 1, n, f_) != n) ok_ = false;
   }
 
  private:
-  void ReadRaw(void* data, size_t n) {
-    if (ok_ && n > 0 && std::fread(data, 1, n, f_) != n) ok_ = false;
-  }
   std::FILE* f_;
   bool ok_ = true;
 };
+
+inline bool EdgeLess(const PredicateObject& a, const PredicateObject& b) {
+  return a.p != b.p ? a.p < b.p : a.o < b.o;
+}
+
+/// One CSR direction under construction.
+struct Csr {
+  std::vector<uint64_t> offsets;       // num_nodes + 1
+  std::vector<PredicateObject> edges;  // sorted + unique per node range
+};
+
+/// Builds one CSR direction from the staged triples with a stable two-pass
+/// counting sort followed by per-node sort + dedup + compaction. Every pass
+/// runs over the fixed kFreezeShards split, so the output is independent of
+/// the pool's thread count.
+Csr BuildCsr(ThreadPool& pool, const std::vector<Triple>& triples,
+             size_t num_nodes, bool by_subject) {
+  const size_t n = triples.size();
+  auto key = [by_subject](const Triple& t) { return by_subject ? t.s : t.o; };
+
+  // Pass A: per-shard, per-node edge counts.
+  std::vector<std::vector<uint64_t>> counts(kFreezeShards);
+  pool.RunShards(kFreezeShards, [&](size_t shard) {
+    ShardRange r = ShardOf(n, shard, kFreezeShards);
+    counts[shard].assign(num_nodes, 0);
+    for (size_t i = r.begin; i < r.end; ++i) ++counts[shard][key(triples[i])];
+  });
+
+  // Exclusive prefix sum over (node, shard) turns counts into raw write
+  // cursors: shard s writes node v's edges at raw_offsets[v] + (edges of v
+  // in shards < s), preserving staging order (stable scatter).
+  std::vector<uint64_t> raw_offsets(num_nodes + 1, 0);
+  uint64_t running = 0;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    raw_offsets[node] = running;
+    for (auto& shard_counts : counts) {
+      uint64_t c = shard_counts[node];
+      shard_counts[node] = running;
+      running += c;
+    }
+  }
+  raw_offsets[num_nodes] = running;
+
+  // Pass B: scatter into the raw edge array; shards write disjoint slots.
+  std::vector<PredicateObject> raw(n);
+  pool.RunShards(kFreezeShards, [&](size_t shard) {
+    ShardRange r = ShardOf(n, shard, kFreezeShards);
+    std::vector<uint64_t>& cursor = counts[shard];
+    for (size_t i = r.begin; i < r.end; ++i) {
+      const Triple& t = triples[i];
+      raw[cursor[key(t)]++] =
+          by_subject ? PredicateObject{t.p, t.o} : PredicateObject{t.p, t.s};
+    }
+  });
+
+  // Pass C: sort + dedup each node's range in place (disjoint ranges).
+  std::vector<uint64_t> unique_counts(num_nodes, 0);
+  pool.RunShards(kFreezeShards, [&](size_t shard) {
+    ShardRange r = ShardOf(num_nodes, shard, kFreezeShards);
+    for (size_t node = r.begin; node < r.end; ++node) {
+      PredicateObject* b = raw.data() + raw_offsets[node];
+      PredicateObject* e = raw.data() + raw_offsets[node + 1];
+      std::sort(b, e, EdgeLess);
+      unique_counts[node] = static_cast<uint64_t>(std::unique(b, e) - b);
+    }
+  });
+
+  // Final offsets + compaction of the unique prefixes.
+  Csr csr;
+  csr.offsets.assign(num_nodes + 1, 0);
+  uint64_t total = 0;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    csr.offsets[node] = total;
+    total += unique_counts[node];
+  }
+  csr.offsets[num_nodes] = total;
+  csr.edges.resize(total);
+  pool.RunShards(kFreezeShards, [&](size_t shard) {
+    ShardRange r = ShardOf(num_nodes, shard, kFreezeShards);
+    for (size_t node = r.begin; node < r.end; ++node) {
+      std::copy_n(raw.data() + raw_offsets[node], unique_counts[node],
+                  csr.edges.data() + csr.offsets[node]);
+    }
+  });
+  return csr;
+}
 
 }  // namespace
 
@@ -77,8 +167,6 @@ TermId KnowledgeBase::AddNode(std::string_view term, bool literal) {
   TermId id = nodes_.Intern(term);
   if (nodes_.size() > before) {
     is_literal_.push_back(literal);
-    out_.emplace_back();
-    in_.emplace_back();
     if (!literal) ++num_entities_;
   } else {
     // Re-interning with a different kind is a modeling error.
@@ -104,8 +192,7 @@ void KnowledgeBase::AddTriple(TermId s, PredId p, TermId o) {
   assert(!frozen_);
   assert(s < nodes_.size() && o < nodes_.size() && p < predicates_.size());
   assert(!is_literal_[s] && "subjects must be entities");
-  out_[s].push_back({p, o});
-  in_[o].push_back({p, s});
+  staging_.push_back({s, p, o});
 }
 
 void KnowledgeBase::AddTriple(std::string_view s, std::string_view p,
@@ -116,58 +203,73 @@ void KnowledgeBase::AddTriple(std::string_view s, std::string_view p,
   AddTriple(sid, pid, oid);
 }
 
-void KnowledgeBase::Freeze() {
+void KnowledgeBase::Freeze(int num_threads) {
   if (frozen_) return;
-  auto cmp = [](const PredicateObject& a, const PredicateObject& b) {
-    return a.p != b.p ? a.p < b.p : a.o < b.o;
-  };
-  num_triples_ = 0;
-  for (auto& adj : out_) {
-    std::sort(adj.begin(), adj.end(), cmp);
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-    adj.shrink_to_fit();
-    num_triples_ += adj.size();
-  }
-  for (auto& adj : in_) {
-    std::sort(adj.begin(), adj.end(), cmp);
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-    adj.shrink_to_fit();
-  }
-  if (name_predicate_ != kInvalidPred) {
-    for (TermId s = 0; s < out_.size(); ++s) {
-      for (const auto& [p, o] : ObjectsRange(s, name_predicate_)) {
-        (void)p;
-        name_index_[o].push_back(s);
-      }
+  ThreadPool pool(num_threads);
+  Csr out = BuildCsr(pool, staging_, nodes_.size(), /*by_subject=*/true);
+  Csr in = BuildCsr(pool, staging_, nodes_.size(), /*by_subject=*/false);
+  out_offsets_ = std::move(out.offsets);
+  out_edges_ = std::move(out.edges);
+  in_offsets_ = std::move(in.offsets);
+  in_edges_ = std::move(in.edges);
+  staging_.clear();
+  staging_.shrink_to_fit();
+  num_triples_ = out_edges_.size();
+  frozen_ = true;
+  BuildNameIndex();
+}
+
+void KnowledgeBase::BuildNameIndex() {
+  if (name_predicate_ == kInvalidPred) return;
+  for (TermId s = 0; s < nodes_.size(); ++s) {
+    for (const auto& [p, o] : ObjectsRange(s, name_predicate_)) {
+      (void)p;
+      name_index_[o].push_back(s);
     }
   }
-  frozen_ = true;
 }
 
 std::span<const PredicateObject> KnowledgeBase::Out(TermId s) const {
   assert(frozen_);
-  if (s >= out_.size()) return {};
-  return out_[s];
+  if (s >= nodes_.size()) return {};
+  return {out_edges_.data() + out_offsets_[s],
+          static_cast<size_t>(out_offsets_[s + 1] - out_offsets_[s])};
 }
 
 std::span<const PredicateObject> KnowledgeBase::In(TermId o) const {
   assert(frozen_);
-  if (o >= in_.size()) return {};
-  return in_[o];
+  if (o >= nodes_.size()) return {};
+  return {in_edges_.data() + in_offsets_[o],
+          static_cast<size_t>(in_offsets_[o + 1] - in_offsets_[o])};
 }
+
+namespace {
+
+/// Predicate sub-range of one sorted CSR node range.
+std::span<const PredicateObject> PredRange(
+    std::span<const PredicateObject> adj, PredId p) {
+  const auto* lo = std::lower_bound(
+      adj.data(), adj.data() + adj.size(), p,
+      [](const PredicateObject& e, PredId pred) { return e.p < pred; });
+  const auto* end = adj.data() + adj.size();
+  if (lo == end || lo->p != p) return {};
+  const auto* hi = lo;
+  while (hi != end && hi->p == p) ++hi;
+  return {lo, static_cast<size_t>(hi - lo)};
+}
+
+}  // namespace
 
 std::span<const PredicateObject> KnowledgeBase::ObjectsRange(TermId s,
                                                              PredId p) const {
-  // Usable pre-freeze only from Freeze() itself (adjacency already sorted).
-  if (s >= out_.size()) return {};
-  const auto& adj = out_[s];
-  auto lo = std::lower_bound(
-      adj.begin(), adj.end(), p,
-      [](const PredicateObject& e, PredId pred) { return e.p < pred; });
-  if (lo == adj.end() || lo->p != p) return {};
-  auto hi = lo;
-  while (hi != adj.end() && hi->p == p) ++hi;
-  return {&*lo, static_cast<size_t>(hi - lo)};
+  if (!frozen_ || s >= nodes_.size()) return {};
+  return PredRange(Out(s), p);
+}
+
+std::span<const PredicateObject> KnowledgeBase::SubjectsRange(TermId o,
+                                                              PredId p) const {
+  if (!frozen_ || o >= nodes_.size()) return {};
+  return PredRange(In(o), p);
 }
 
 std::vector<TermId> KnowledgeBase::Objects(TermId s, PredId p) const {
@@ -177,10 +279,9 @@ std::vector<TermId> KnowledgeBase::Objects(TermId s, PredId p) const {
 }
 
 bool KnowledgeBase::HasTriple(TermId s, PredId p, TermId o) const {
-  for (const auto& e : ObjectsRange(s, p)) {
-    if (e.o == o) return true;
-  }
-  return false;
+  std::span<const PredicateObject> adj = Out(s);
+  return std::binary_search(adj.begin(), adj.end(), PredicateObject{p, o},
+                            EdgeLess);
 }
 
 std::vector<PredId> KnowledgeBase::ConnectingPredicates(TermId s,
@@ -219,32 +320,105 @@ std::vector<TermId> KnowledgeBase::AllEntities() const {
   return out;
 }
 
+namespace {
+
+/// Writes a dictionary as one offset array + one contiguous string blob.
+void WriteDictionary(BinaryWriter& w, const Dictionary& dict) {
+  const size_t n = dict.size();
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + dict.GetString(static_cast<TermId>(i)).size();
+  }
+  std::string blob;
+  blob.reserve(offsets[n]);
+  for (size_t i = 0; i < n; ++i) blob += dict.GetString(static_cast<TermId>(i));
+  w.WriteU64(n);
+  w.WriteBytes(offsets.data(), offsets.size() * sizeof(uint64_t));
+  w.WriteBytes(blob.data(), blob.size());
+}
+
+/// Reads a dictionary written by WriteDictionary. Returns false on any
+/// structural problem (reader I/O errors are checked by the caller).
+bool ReadDictionary(BinaryReader& r, Dictionary* dict) {
+  uint64_t n = r.ReadU64();
+  if (!r.ok() || n > kMaxCount) return false;
+  std::vector<uint64_t> offsets(n + 1, 0);
+  r.ReadBytes(offsets.data(), offsets.size() * sizeof(uint64_t));
+  if (!r.ok() || offsets[0] != 0 || offsets[n] > kMaxBlobBytes) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) return false;
+  }
+  std::string blob(offsets[n], '\0');
+  r.ReadBytes(blob.data(), blob.size());
+  if (!r.ok()) return false;
+  dict->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view term(blob.data() + offsets[i], offsets[i + 1] - offsets[i]);
+    // A repeated string would intern to an earlier id and desynchronize the
+    // dense id space — corrupt by definition.
+    if (dict->Intern(term) != static_cast<TermId>(i)) return false;
+  }
+  return true;
+}
+
+/// Validates one loaded CSR direction: monotone offsets covering the edge
+/// array, ids in range, per-node ranges strictly sorted by (p, o), and —
+/// since only entities may anchor edges in this direction — empty ranges
+/// for literal nodes (`anchor_must_be_entity` selects out-CSR subjects /
+/// in-CSR checks the edge's far end instead).
+bool ValidCsr(const std::vector<uint64_t>& offsets,
+              const std::vector<PredicateObject>& edges,
+              const std::vector<bool>& is_literal, size_t num_preds,
+              bool anchor_is_subject) {
+  const size_t num_nodes = is_literal.size();
+  if (offsets.size() != num_nodes + 1 || offsets[0] != 0 ||
+      offsets[num_nodes] != edges.size()) {
+    return false;
+  }
+  for (size_t node = 0; node < num_nodes; ++node) {
+    if (offsets[node] > offsets[node + 1]) return false;
+    if (anchor_is_subject && is_literal[node] &&
+        offsets[node] != offsets[node + 1]) {
+      return false;  // literal subject
+    }
+    for (uint64_t i = offsets[node]; i < offsets[node + 1]; ++i) {
+      const PredicateObject& e = edges[i];
+      if (e.p >= num_preds || e.o >= num_nodes) return false;
+      // Out-CSR stores objects (any node kind); in-CSR stores subjects,
+      // which must be entities.
+      if (!anchor_is_subject && is_literal[e.o]) return false;
+      if (i > offsets[node] && !EdgeLess(edges[i - 1], e)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Status KnowledgeBase::Save(const std::string& path) const {
   if (!frozen_) return Status::FailedPrecondition("Save requires Freeze()");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
   BinaryWriter w(f);
-  w.WriteU64(kMagic);
-  w.WriteU64(nodes_.size());
-  for (TermId id = 0; id < nodes_.size(); ++id) {
-    w.WriteString(nodes_.GetString(id));
-    w.WriteU32(is_literal_[id] ? 1 : 0);
-  }
-  w.WriteU64(predicates_.size());
-  for (PredId id = 0; id < predicates_.size(); ++id) {
-    w.WriteString(predicates_.GetString(id));
-  }
+  w.WriteU64(kMagicV2);
+
+  WriteDictionary(w, nodes_);
+  std::vector<uint8_t> literal_bytes(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) literal_bytes[i] = is_literal_[i];
+  w.WriteBytes(literal_bytes.data(), literal_bytes.size());
+
+  WriteDictionary(w, predicates_);
   w.WriteU32(name_predicate_);
-  uint64_t triple_count = 0;
-  for (const auto& adj : out_) triple_count += adj.size();
-  w.WriteU64(triple_count);
-  for (TermId s = 0; s < out_.size(); ++s) {
-    for (const auto& e : out_[s]) {
-      w.WriteU32(s);
-      w.WriteU32(e.p);
-      w.WriteU32(e.o);
-    }
-  }
+
+  // Both CSR directions, each as two contiguous block transfers.
+  w.WriteU64(out_edges_.size());
+  w.WriteBytes(out_offsets_.data(), out_offsets_.size() * sizeof(uint64_t));
+  w.WriteBytes(out_edges_.data(),
+               out_edges_.size() * sizeof(PredicateObject));
+  w.WriteU64(in_edges_.size());
+  w.WriteBytes(in_offsets_.data(), in_offsets_.size() * sizeof(uint64_t));
+  w.WriteBytes(in_edges_.data(), in_edges_.size() * sizeof(PredicateObject));
+
   bool ok = w.ok();
   if (std::fclose(f) != 0) ok = false;
   return ok ? Status::Ok() : Status::IoError("short write: " + path);
@@ -255,41 +429,73 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
   BinaryReader r(f);
   KnowledgeBase kb;
-  if (r.ReadU64() != kMagic) {
+  auto fail = [&](const std::string& what) -> Result<KnowledgeBase> {
     std::fclose(f);
-    return Status::Corruption("bad magic in " + path);
+    return Status::Corruption(what + " in " + path);
+  };
+
+  uint64_t magic = r.ReadU64();
+  if (magic == kMagicV1) {
+    return fail(
+        "unsupported snapshot format version 1 (pre-CSR); re-export the KB "
+        "and Save() it with this build");
   }
-  uint64_t num_nodes = r.ReadU64();
-  for (uint64_t i = 0; i < num_nodes && r.ok(); ++i) {
-    std::string term = r.ReadString();
-    bool literal = r.ReadU32() != 0;
-    kb.AddNode(term, literal);
+  if (magic != kMagicV2) return fail("bad magic");
+
+  if (!ReadDictionary(r, &kb.nodes_)) return fail("bad node dictionary");
+  const size_t num_nodes = kb.nodes_.size();
+  std::vector<uint8_t> literal_bytes(num_nodes);
+  r.ReadBytes(literal_bytes.data(), literal_bytes.size());
+  if (!r.ok()) return fail("short read (node kinds)");
+  kb.is_literal_.resize(num_nodes);
+  kb.num_entities_ = 0;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (literal_bytes[i] > 1) return fail("bad node kind flag");
+    kb.is_literal_[i] = literal_bytes[i] != 0;
+    if (literal_bytes[i] == 0) ++kb.num_entities_;
   }
-  uint64_t num_preds = r.ReadU64();
-  for (uint64_t i = 0; i < num_preds && r.ok(); ++i) {
-    kb.AddPredicate(r.ReadString());
+
+  if (!ReadDictionary(r, &kb.predicates_)) {
+    return fail("bad predicate dictionary");
   }
   uint32_t name_pred = r.ReadU32();
-  uint64_t num_triples = r.ReadU64();
-  for (uint64_t i = 0; i < num_triples && r.ok(); ++i) {
-    TermId s = r.ReadU32();
-    PredId p = r.ReadU32();
-    TermId o = r.ReadU32();
-    if (s >= kb.nodes_.size() || p >= kb.predicates_.size() ||
-        o >= kb.nodes_.size()) {
-      std::fclose(f);
-      return Status::Corruption("triple id out of range in " + path);
-    }
-    kb.AddTriple(s, p, o);
+
+  auto read_csr = [&](std::vector<uint64_t>* offsets,
+                      std::vector<PredicateObject>* edges) {
+    uint64_t num_edges = r.ReadU64();
+    if (!r.ok() || num_edges > kMaxCount) return false;
+    offsets->assign(num_nodes + 1, 0);
+    r.ReadBytes(offsets->data(), offsets->size() * sizeof(uint64_t));
+    edges->resize(num_edges);
+    r.ReadBytes(edges->data(), num_edges * sizeof(PredicateObject));
+    return r.ok();
+  };
+  if (!read_csr(&kb.out_offsets_, &kb.out_edges_)) {
+    return fail("short read (out CSR)");
   }
-  bool ok = r.ok();
+  if (!ValidCsr(kb.out_offsets_, kb.out_edges_, kb.is_literal_,
+                kb.predicates_.size(), /*anchor_is_subject=*/true)) {
+    return fail("invalid out CSR");
+  }
+  if (!read_csr(&kb.in_offsets_, &kb.in_edges_)) {
+    return fail("short read (in CSR)");
+  }
+  if (!ValidCsr(kb.in_offsets_, kb.in_edges_, kb.is_literal_,
+                kb.predicates_.size(), /*anchor_is_subject=*/false)) {
+    return fail("invalid in CSR");
+  }
+  if (kb.in_edges_.size() != kb.out_edges_.size()) {
+    return fail("CSR direction size mismatch");
+  }
   std::fclose(f);
-  if (!ok) return Status::Corruption("short read: " + path);
+
   if (name_pred != kInvalidPred && name_pred >= kb.predicates_.size()) {
     return Status::Corruption("name predicate out of range in " + path);
   }
   kb.name_predicate_ = name_pred;
-  kb.Freeze();
+  kb.num_triples_ = kb.out_edges_.size();
+  kb.frozen_ = true;
+  kb.BuildNameIndex();
   return kb;
 }
 

@@ -41,15 +41,23 @@ struct Triple {
 
 /// In-memory RDF triple store — the substrate standing in for Trinity.RDF.
 ///
-/// Design: dictionary-encoded nodes and predicates; adjacency lists sorted by
-/// (predicate, object) giving O(log d) predicate lookup within a node of
-/// degree d; an inverse adjacency for object→subject navigation; and a name
-/// index (literal string → entities carrying it under the designated `name`
-/// predicate) used for entity linking.
+/// Design: dictionary-encoded nodes and predicates; adjacency in CSR
+/// (compressed sparse row) form — one contiguous `PredicateObject` edge
+/// array plus a `TermId -> offset` index per direction, each per-node range
+/// sorted by (predicate, object) giving O(log d) predicate lookup within a
+/// node of degree d; an inverse CSR for object→subject navigation; and a
+/// name index (literal string → entities carrying it under the designated
+/// `name` predicate) used for entity linking. The flat layout removes the
+/// per-node heap allocation and pointer chase of the former
+/// vector-of-vectors adjacency: `Out()` is two loads from contiguous
+/// arrays.
 ///
 /// Usage: create, declare the name predicate, add triples, then `Freeze()`.
-/// All read APIs require the store to be frozen; mutation after Freeze is a
-/// precondition violation.
+/// Added triples are staged in insertion order; `Freeze()` builds both CSR
+/// directions with a counting-sort/prefix-sum pass that is parallelized
+/// over a fixed shard count, so the frozen layout is bit-identical for any
+/// `num_threads`. All read APIs require the store to be frozen; mutation
+/// after Freeze is a precondition violation.
 class KnowledgeBase {
  public:
   KnowledgeBase();
@@ -79,8 +87,10 @@ class KnowledgeBase {
   /// set before Freeze() for the name index to be built.
   void SetNamePredicate(PredId p) { name_predicate_ = p; }
 
-  /// Sorts adjacency, deduplicates, and builds the name index. Idempotent.
-  void Freeze();
+  /// Builds both CSR adjacency directions (sorted, deduplicated) and the
+  /// name index. `num_threads` sizes the worker pool for the counting-sort
+  /// passes; the result is bit-identical for any value. Idempotent.
+  void Freeze(int num_threads = 1);
   bool frozen() const { return frozen_; }
 
   // ---- Reads (require frozen()) ----
@@ -93,6 +103,10 @@ class KnowledgeBase {
   /// V(e, p) — all objects v with (e, p, v) in K.
   std::span<const PredicateObject> ObjectsRange(TermId s, PredId p) const;
   std::vector<TermId> Objects(TermId s, PredId p) const;
+
+  /// Inverse of ObjectsRange: all subjects s with (s, p, o) in K, as
+  /// (predicate, subject) entries of the in-CSR.
+  std::span<const PredicateObject> SubjectsRange(TermId o, PredId p) const;
 
   /// True when (s, p, o) ∈ K.
   bool HasTriple(TermId s, PredId p, TermId o) const;
@@ -139,13 +153,22 @@ class KnowledgeBase {
 
   // ---- Serialization ----
 
-  /// Writes the frozen store to a binary file.
+  /// Writes the frozen store to a binary snapshot (format version 2): the
+  /// dictionaries as offset-indexed string blobs and both CSR directions
+  /// as single contiguous blocks, each written with one fwrite.
   Status Save(const std::string& path) const;
-  /// Reads a store previously written by Save. Returns a frozen store.
+  /// Reads a snapshot previously written by Save. The CSR blocks are
+  /// slurped with bulk freads straight into their in-memory form (no
+  /// per-record loop, no re-sort, no re-dedup); only the dictionary hash
+  /// index and the name index are rebuilt. Returns a frozen store; a
+  /// version-1 snapshot or other format mismatch yields a clean
+  /// Corruption status.
   static Result<KnowledgeBase> Load(const std::string& path);
 
  private:
   TermId AddNode(std::string_view term, bool literal);
+  /// Builds name_index_ from the frozen out-CSR.
+  void BuildNameIndex();
 
   Dictionary nodes_;
   Dictionary predicates_;
@@ -153,9 +176,15 @@ class KnowledgeBase {
   size_t num_entities_ = 0;
   size_t num_triples_ = 0;
 
-  // Adjacency, indexed by node id. Sorted + deduplicated at Freeze().
-  std::vector<std::vector<PredicateObject>> out_;
-  std::vector<std::vector<PredicateObject>> in_;
+  // Pre-freeze staging area, in AddTriple order. Cleared by Freeze().
+  std::vector<Triple> staging_;
+
+  // CSR adjacency (valid once frozen): node id -> [offsets_[id],
+  // offsets_[id+1]) into the edge array. Sorted + deduplicated per node.
+  std::vector<uint64_t> out_offsets_;
+  std::vector<PredicateObject> out_edges_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<PredicateObject> in_edges_;
 
   PredId name_predicate_ = kInvalidPred;
   // Literal name TermId -> entities carrying that name.

@@ -125,8 +125,10 @@ void Evaluate(const KnowledgeBase& kb,
     }
   } else if (o_bound) {
     ++stats->index_lookups;
-    for (const auto& ps : kb.In(o)) {
-      if (ps.p == *pred) bind_and_recurse(pattern.subject.text, ps.o);
+    // In-CSR ranges are sorted by predicate, so the matching subjects are
+    // one contiguous sub-range instead of a filtered scan of all in-edges.
+    for (const auto& ps : kb.SubjectsRange(o, *pred)) {
+      bind_and_recurse(pattern.subject.text, ps.o);
     }
   } else {
     // Neither side bound: full scan over subjects (the planner tries to

@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/decomposer.h"
@@ -190,6 +192,64 @@ TEST(DiskExpansionTest, DiskScanMatchesInMemoryExactly) {
     return out;
   };
   EXPECT_EQ(materialize(memory.value()), materialize(disk.value()));
+  std::remove(path.c_str());
+}
+
+TEST(DiskExpansionTest, ExpansionIsBitIdenticalAcrossThreadCounts) {
+  // The sharded BFS commits discoveries serially in shard order, so the
+  // triple set AND the PathId numbering must be byte-identical for any
+  // thread count — for both the in-memory and the disk-scan variant.
+  corpus::WorldConfig config;
+  config.schema.scale = 0.03;
+  config.schema.generic_attributes_per_type = 2;
+  config.schema.generic_relations_per_type = 2;
+  corpus::World world = corpus::GenerateWorld(config);
+  std::string path = ::testing::TempDir() + "/threaded_kb.nt";
+  ASSERT_TRUE(rdf::ExportNTriples(world.kb, path).ok());
+
+  std::vector<rdf::TermId> seeds = world.kb.AllEntities();
+  seeds.resize(std::min<size_t>(seeds.size(), 150));
+
+  // Raw-id materialization: any PathId renumbering would show up here.
+  auto raw_triples = [](const rdf::ExpandedKb& ekb) {
+    std::vector<std::tuple<rdf::TermId, rdf::PathId, rdf::TermId>> out;
+    ekb.ForEachTriple([&](const rdf::ExpandedTriple& triple) {
+      out.emplace_back(triple.s, triple.path, triple.o);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (bool from_disk : {false, true}) {
+    auto run = [&](int threads) {
+      rdf::ExpansionOptions options;
+      options.max_length = 3;
+      options.num_threads = threads;
+      return from_disk
+                 ? rdf::ExpandedKb::BuildFromDisk(world.kb, path, seeds,
+                                                  world.name_like, options)
+                 : rdf::ExpandedKb::Build(world.kb, seeds, world.name_like,
+                                          options);
+    };
+    auto base = run(1);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto base_triples = raw_triples(base.value());
+    ASSERT_GT(base_triples.size(), 100u);
+    for (int threads : {2, 4}) {
+      auto other = run(threads);
+      ASSERT_TRUE(other.ok()) << other.status();
+      // Same dictionary: same size and the same PredPath behind every id.
+      ASSERT_EQ(other.value().paths().size(), base.value().paths().size())
+          << "from_disk=" << from_disk << " threads=" << threads;
+      for (rdf::PathId id = 0; id < base.value().paths().size(); ++id) {
+        ASSERT_EQ(other.value().paths().GetPath(id),
+                  base.value().paths().GetPath(id))
+            << "from_disk=" << from_disk << " threads=" << threads;
+      }
+      EXPECT_EQ(raw_triples(other.value()), base_triples)
+          << "from_disk=" << from_disk << " threads=" << threads;
+    }
+  }
   std::remove(path.c_str());
 }
 

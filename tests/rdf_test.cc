@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/expanded_predicate.h"
@@ -167,6 +169,94 @@ TEST_F(ToyKbTest, LoadMissingFileIsIoError) {
   auto loaded = KnowledgeBase::Load("/nonexistent/path/kb.bin");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ToyKbTest, SaveLoadPreservesAdjacencyExactly) {
+  std::string path = ::testing::TempDir() + "/toy_kb_csr.bin";
+  ASSERT_TRUE(kb_.Save(path).ok());
+  auto loaded = KnowledgeBase::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const KnowledgeBase& kb2 = loaded.value();
+
+  // The CSR blocks are slurped verbatim, so every Out()/In() range must be
+  // element-for-element identical, not just equal as a set.
+  ASSERT_EQ(kb2.num_nodes(), kb_.num_nodes());
+  for (TermId id = 0; id < kb_.num_nodes(); ++id) {
+    auto out1 = kb_.Out(id), out2 = kb2.Out(id);
+    ASSERT_EQ(out1.size(), out2.size()) << "node " << id;
+    EXPECT_TRUE(std::equal(out1.begin(), out1.end(), out2.begin()));
+    auto in1 = kb_.In(id), in2 = kb2.In(id);
+    ASSERT_EQ(in1.size(), in2.size()) << "node " << id;
+    EXPECT_TRUE(std::equal(in1.begin(), in1.end(), in2.begin()));
+    EXPECT_EQ(kb_.IsLiteral(id), kb2.IsLiteral(id));
+    EXPECT_EQ(kb_.NodeString(id), kb2.NodeString(id));
+  }
+  for (const char* name : {"barack obama", "michelle obama", "honolulu"}) {
+    auto e1 = kb_.EntitiesByName(name);
+    auto e2 = kb2.EntitiesByName(name);
+    ASSERT_EQ(e1.size(), e2.size()) << name;
+    EXPECT_TRUE(std::equal(e1.begin(), e1.end(), e2.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadRejectsVersion1SnapshotCleanly) {
+  // A version-1 (pre-CSR) snapshot begins with the old magic. Loading one
+  // must yield a clean Corruption status naming the version, not a crash
+  // or a silently wrong store.
+  constexpr uint64_t kMagicV1 = 0x4b42514152444631ULL;  // "KBQARDF1"
+  std::string path = ::testing::TempDir() + "/v1_kb.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&kMagicV1, sizeof(kMagicV1), 1, f), 1u);
+  // Plausible-looking v1 payload bytes after the magic.
+  uint64_t counts[4] = {3, 1, 0, 2};
+  ASSERT_EQ(std::fwrite(counts, sizeof(counts), 1, f), 1u);
+  std::fclose(f);
+
+  auto loaded = KnowledgeBase::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("version 1"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, FreezeIsBitIdenticalAcrossThreadCounts) {
+  auto build = [](int num_threads) {
+    KnowledgeBase kb;
+    PredId name = kb.AddPredicate("name");
+    kb.SetNamePredicate(name);
+    PredId p = kb.AddPredicate("p");
+    PredId q = kb.AddPredicate("q");
+    std::vector<TermId> ents;
+    for (int i = 0; i < 64; ++i) {
+      ents.push_back(kb.AddEntity("e" + std::to_string(i)));
+    }
+    TermId lit = kb.AddLiteral("shared name");
+    // Deliberately unsorted insertion order with duplicates.
+    for (int i = 63; i >= 0; --i) {
+      kb.AddTriple(ents[i], q, ents[(i * 7 + 3) % 64]);
+      kb.AddTriple(ents[i], p, ents[(i * 13 + 1) % 64]);
+      kb.AddTriple(ents[i], p, ents[(i * 13 + 1) % 64]);  // duplicate
+      if (i % 3 == 0) kb.AddTriple(ents[i], name, lit);
+    }
+    kb.Freeze(num_threads);
+    return kb;
+  };
+  KnowledgeBase kb1 = build(1);
+  for (int threads : {2, 4}) {
+    KnowledgeBase kbn = build(threads);
+    ASSERT_EQ(kbn.num_triples(), kb1.num_triples());
+    for (TermId id = 0; id < kb1.num_nodes(); ++id) {
+      auto a = kb1.Out(id), b = kbn.Out(id);
+      ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+      auto ia = kb1.In(id), ib = kbn.In(id);
+      ASSERT_EQ(ia.size(), ib.size()) << "threads=" << threads;
+      EXPECT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+    }
+  }
 }
 
 // ---------- Expanded predicates (§6) ----------
