@@ -1,0 +1,243 @@
+// Observability benchmark: (1) A/B overhead of the instrumented Answer
+// path — registry runtime-enabled vs runtime-disabled, interleaved rounds,
+// median-of-rounds — proving the instrumentation budget (< 2%); (2) metric
+// coverage after a batched benchmark run (answer-stage histograms, value
+// cache hit/miss, EM iteration stats, thread-pool task latencies all
+// non-zero); (3) trace collection + Chrome trace export exercise; (4) the
+// snapshot JSON round-trip at full-registry scale. Emits
+// BENCH_observability.json.
+//
+// The runtime-disabled arm is a proxy for the compile-out build
+// (-DKBQA_OBS_DISABLED=ON): it still pays one relaxed load per macro site.
+// That makes the measured overhead an *upper* bound on enabled-vs-compiled
+// -out, while keeping the A/B inside one binary (no cross-build noise).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/report.h"
+#include "obs/obs.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kbqa;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double Min(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+/// One timed arm: a single sweep over the questions, returning ns per
+/// Answer call.
+double TimeAnswerPass(const core::KbqaSystem& kbqa,
+                      const std::vector<std::string>& questions,
+                      size_t* answered) {
+  Timer t;
+  for (const std::string& q : questions) {
+    *answered += kbqa.Answer(q).answered;
+  }
+  return t.ElapsedSeconds() * 1e9 / static_cast<double>(questions.size());
+}
+
+}  // namespace
+
+int main() {
+  auto experiment = bench::BuildStandardExperiment();
+  const core::KbqaSystem& kbqa = experiment->kbqa();
+
+  corpus::BenchmarkSet set = experiment->MakeQald1();
+  std::vector<std::string> questions;
+  questions.reserve(set.questions.pairs.size());
+  for (const corpus::QaPair& pair : set.questions.pairs) {
+    questions.push_back(pair.question);
+  }
+  Check(!questions.empty(), "benchmark set has questions");
+
+  // ---- Overhead A/B on the Answer hot path ----
+  // Warm-up fills the value cache so both arms measure the steady state,
+  // and calibrates the pass count to give each timed arm >= ~50ms (the
+  // per-answer path is microseconds; short arms would be pure timer noise).
+  obs::MetricsRegistry::set_enabled(true);
+  for (const std::string& q : questions) (void)kbqa.Answer(q);
+
+  // Paired design at single-pass granularity: each pair times one pass
+  // (~hundreds of µs) per arm back-to-back, order alternating pair to
+  // pair, and contributes one enabled-minus-disabled difference. This box
+  // drifts by double-digit percents under background load, so aggregate
+  // comparisons across arms are hopeless; between two *adjacent* passes
+  // the drift is negligible and cancels in the difference, and the median
+  // over many pairs is robust to the minority of passes a preemption
+  // lands in.
+  const int kPairs = 600;
+  std::vector<double> enabled_ns, disabled_ns, diff_ns;
+  enabled_ns.reserve(kPairs);
+  disabled_ns.reserve(kPairs);
+  diff_ns.reserve(kPairs);
+  size_t answered = 0;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    double e = 0, d = 0;
+    if (pair % 2 == 0) {
+      obs::MetricsRegistry::set_enabled(true);
+      e = TimeAnswerPass(kbqa, questions, &answered);
+      obs::MetricsRegistry::set_enabled(false);
+      d = TimeAnswerPass(kbqa, questions, &answered);
+    } else {
+      obs::MetricsRegistry::set_enabled(false);
+      d = TimeAnswerPass(kbqa, questions, &answered);
+      obs::MetricsRegistry::set_enabled(true);
+      e = TimeAnswerPass(kbqa, questions, &answered);
+    }
+    enabled_ns.push_back(e);
+    disabled_ns.push_back(d);
+    diff_ns.push_back(e - d);
+  }
+  obs::MetricsRegistry::set_enabled(true);
+  Check(answered > 0, "answer passes produced answers");
+
+  const double med_diff = Median(diff_ns);
+  const double base_ns = Median(disabled_ns);
+  const double overhead_pct = med_diff / base_ns * 100.0;
+  std::printf(
+      "[overhead] answer path: median paired diff %+.0f ns on a %.0f ns "
+      "baseline -> %.2f%% (%d pairs x %zu questions)\n",
+      med_diff, base_ns, overhead_pct, kPairs, questions.size());
+  Check(overhead_pct < 2.0, "instrumentation overhead under 2%");
+
+  // ---- Metric coverage after a batched run ----
+  eval::RunResult run = eval::RunBenchmarkBatched(kbqa, set, 4);
+  std::printf("[batched] %zu questions, R %.2f, %.1f ms total\n",
+              static_cast<size_t>(run.counts.total), run.counts.R(),
+              run.total_ms);
+
+  const obs::MetricsSnapshot snap = core::KbqaSystem::MetricsSnapshot();
+  auto histogram_count = [&](const char* name) -> uint64_t {
+    const auto* h = snap.histogram(name);
+    return h == nullptr ? 0 : h->count;
+  };
+  auto counter_value = [&](const char* name) -> uint64_t {
+    const auto* c = snap.counter(name);
+    return c == nullptr ? 0 : c->value;
+  };
+  // Online serving stages (all spans sampled via 1-in-2^k detail windows;
+  // the A/B rounds above answered tens of thousands of questions, so
+  // hundreds of windows fired).
+  Check(histogram_count("span.answer") > 0, "span.answer recorded");
+  Check(histogram_count("span.answer.ner") > 0, "span.answer.ner recorded");
+  Check(histogram_count("span.answer.template_match") > 0,
+        "span.answer.template_match recorded");
+  Check(histogram_count("span.answer.value_lookup") > 0,
+        "span.answer.value_lookup recorded");
+  Check(counter_value("online.answers") > 0, "online.answers counted");
+  Check(counter_value("online.value_cache.hits") > 0, "cache hits counted");
+  Check(counter_value("online.value_cache.misses") > 0,
+        "cache misses counted");
+  // Offline learning (recorded during experiment setup).
+  Check(counter_value("em.iterations") > 0, "em.iterations counted");
+  Check(histogram_count("em.e_step.shard_ns") > 0,
+        "em.e_step shard timings recorded");
+  Check(histogram_count("span.em.train") > 0, "span.em.train recorded");
+  Check(snap.gauge("em.log_likelihood") != nullptr, "em.log_likelihood set");
+  // RDF substrate.
+  Check(histogram_count("span.rdf.freeze") > 0, "span.rdf.freeze recorded");
+  Check(histogram_count("rdf.expand.frontier_size") > 0,
+        "expansion frontier sizes recorded");
+  // Thread pool.
+  Check(counter_value("thread_pool.tasks") > 0, "pool tasks counted");
+  Check(histogram_count("span.thread_pool.task") > 0,
+        "pool task latencies recorded");
+
+  // Snapshot JSON must round-trip at full-registry scale.
+  obs::MetricsSnapshot parsed;
+  Check(obs::MetricsSnapshot::FromJson(snap.ToJson(), &parsed) &&
+            parsed == snap,
+        "snapshot JSON round-trip");
+
+  // ---- Trace collection + Chrome export ----
+  obs::Tracing::Start();
+  const size_t trace_questions = std::min<size_t>(questions.size(), 10);
+  for (size_t i = 0; i < trace_questions; ++i) (void)kbqa.Answer(questions[i]);
+  obs::Tracing::Stop();
+  const size_t trace_events = obs::Tracing::CollectedEvents();
+  Check(trace_events >= trace_questions, "trace captured answer spans");
+  const char* trace_path = "/tmp/obs_trace.json";
+  {
+    std::ofstream trace(trace_path);
+    obs::Tracing::ExportChromeTrace(trace);
+    Check(trace.good(), "trace export wrote");
+  }
+  std::printf("[trace] %zu events from %zu answers -> %s\n", trace_events,
+              trace_questions, trace_path);
+
+  eval::PrintObservabilityReport(std::cout);
+
+  // ---- JSON ----
+  std::FILE* out = std::fopen("BENCH_observability.json", "w");
+  Check(out != nullptr, "open BENCH_observability.json");
+  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::sort(diff_ns.begin(), diff_ns.end());
+  std::fprintf(out,
+               "  \"answer_overhead\": {\n"
+               "    \"questions\": %zu, \"pairs\": %d,\n"
+               "    \"median_paired_diff_ns\": %.1f,\n"
+               "    \"paired_diff_p10_ns\": %.1f,\n"
+               "    \"paired_diff_p90_ns\": %.1f,\n"
+               "    \"enabled_median_ns_per_answer\": %.1f,\n"
+               "    \"disabled_median_ns_per_answer\": %.1f,\n"
+               "    \"overhead_percent\": %.3f,\n"
+               "    \"budget_percent\": 2.0\n  },\n",
+               questions.size(), kPairs, med_diff,
+               diff_ns[diff_ns.size() / 10],
+               diff_ns[diff_ns.size() * 9 / 10], Median(enabled_ns),
+               base_ns, overhead_pct);
+  const auto* answer_span = snap.histogram("span.answer");
+  std::fprintf(out,
+               "  \"coverage\": {\n"
+               "    \"span_answer_count\": %llu,\n"
+               "    \"span_answer_avg_us\": %.3f,\n"
+               "    \"value_cache_hits\": %llu,\n"
+               "    \"value_cache_misses\": %llu,\n"
+               "    \"em_iterations\": %llu,\n"
+               "    \"em_e_step_shards_timed\": %llu,\n"
+               "    \"thread_pool_tasks\": %llu\n  },\n",
+               static_cast<unsigned long long>(answer_span->count),
+               answer_span->Mean() / 1e3,
+               static_cast<unsigned long long>(
+                   counter_value("online.value_cache.hits")),
+               static_cast<unsigned long long>(
+                   counter_value("online.value_cache.misses")),
+               static_cast<unsigned long long>(counter_value("em.iterations")),
+               static_cast<unsigned long long>(
+                   histogram_count("em.e_step.shard_ns")),
+               static_cast<unsigned long long>(
+                   counter_value("thread_pool.tasks")));
+  std::fprintf(out,
+               "  \"trace\": {\"events\": %zu, \"answers_traced\": %zu},\n"
+               "  \"snapshot_json_round_trip\": true,\n"
+               "  \"batched_run\": {\"questions\": %zu, \"recall\": %.3f}\n"
+               "}\n",
+               trace_events, trace_questions,
+               static_cast<size_t>(run.counts.total), run.counts.R());
+  std::fclose(out);
+  std::printf("[done] wrote BENCH_observability.json\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + full test suite, then the same under
+# ASan+UBSan in a separate tree. Run from the repo root:
+#
+#   scripts/check.sh          # both configurations
+#   scripts/check.sh fast     # plain build + tests only
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+echo "== plain tests =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "fast" ]]; then
+  echo "== OK (fast: ASan/UBSan skipped) =="
+  exit 0
+fi
+
+echo "== ASan+UBSan build =="
+cmake -B build-asan -S . -DASAN=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+echo "== ASan+UBSan tests =="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== OK =="

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "nlp/tokenizer.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace kbqa::core {
@@ -61,6 +62,7 @@ void EmLearner::BuildObservations(ThreadPool* pool,
                                   TemplateStore* store,
                                   std::vector<Observation>* observations,
                                   EmStats* stats) const {
+  KBQA_TRACE_SPAN("em.build_observations");
   // Per-shard build state. Templates are interned into a shard-local
   // dictionary (ZPair.t holds *local* ids); merging shards in shard order
   // and re-interning each shard's first-occurrence list into the global
@@ -202,6 +204,7 @@ Status EmLearner::Train(const corpus::QaCorpus& corpus, TemplateStore* store,
   if (store == nullptr || stats == nullptr) {
     return Status::InvalidArgument("store and stats must be non-null");
   }
+  KBQA_TRACE_SPAN("em.train");
 
   ThreadPool pool(options_.num_threads);
 
@@ -235,18 +238,21 @@ Status EmLearner::Train(const corpus::QaCorpus& corpus, TemplateStore* store,
   std::vector<size_t> obs_offset;  // observation i spans
   obs_offset.reserve(observations.size() + 1);  // [offset[i], offset[i+1])
   obs_offset.push_back(0);
-  for (const Observation& obs : observations) {
-    for (const ZPair& z : obs.z) {
-      auto [it, inserted] =
-          param_index.emplace(ThetaKey(z.t, z.p),
-                              static_cast<uint32_t>(param_path.size()));
-      if (inserted) {
-        param_path.push_back(z.p);
-        params_of_template[z.t].push_back(it->second);
+  {
+    KBQA_TRACE_SPAN("em.compact");
+    for (const Observation& obs : observations) {
+      for (const ZPair& z : obs.z) {
+        auto [it, inserted] =
+            param_index.emplace(ThetaKey(z.t, z.p),
+                                static_cast<uint32_t>(param_path.size()));
+        if (inserted) {
+          param_path.push_back(z.p);
+          params_of_template[z.t].push_back(it->second);
+        }
+        entries.push_back(DenseZ{it->second, z.f});
       }
-      entries.push_back(DenseZ{it->second, z.f});
+      obs_offset.push_back(entries.size());
     }
-    obs_offset.push_back(entries.size());
   }
   const size_t num_params = param_path.size();
   const size_t m = observations.size();
@@ -267,31 +273,58 @@ Status EmLearner::Train(const corpus::QaCorpus& corpus, TemplateStore* store,
     std::vector<std::vector<double>> shard_acc(num_shards);
     std::vector<double> shard_ll(num_shards, 0.0);
     std::vector<double> acc(num_params, 0.0);
+    // Wall time of each E-step shard this iteration (observability only;
+    // zeroes when the registry is disabled).
+    std::vector<uint64_t> shard_ns(num_shards, 0);
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      KBQA_TRACE_SPAN("em.iteration");
       // E-step: responsibilities per observation (Eq. 21, normalized),
       // sharded over observations.
-      ParallelFor(pool, m, num_shards,
-                  [&](size_t shard, size_t begin, size_t end) {
-                    std::vector<double>& local = shard_acc[shard];
-                    local.assign(num_params, 0.0);
-                    double ll = 0;
-                    for (size_t i = begin; i < end; ++i) {
-                      const size_t zb = obs_offset[i];
-                      const size_t ze = obs_offset[i + 1];
-                      double total = 0;
-                      for (size_t z = zb; z < ze; ++z) {
-                        total += entries[z].f * theta[entries[z].param];
+      {
+        KBQA_TRACE_SPAN("em.e_step");
+        ParallelFor(pool, m, num_shards,
+                    [&](size_t shard, size_t begin, size_t end) {
+                      const uint64_t t0 =
+                          obs::Enabled() ? obs::NowTicks() : 0;
+                      std::vector<double>& local = shard_acc[shard];
+                      local.assign(num_params, 0.0);
+                      double ll = 0;
+                      for (size_t i = begin; i < end; ++i) {
+                        const size_t zb = obs_offset[i];
+                        const size_t ze = obs_offset[i + 1];
+                        double total = 0;
+                        for (size_t z = zb; z < ze; ++z) {
+                          total += entries[z].f * theta[entries[z].param];
+                        }
+                        if (total <= 0) continue;
+                        ll += std::log(total);
+                        for (size_t z = zb; z < ze; ++z) {
+                          local[entries[z].param] +=
+                              entries[z].f * theta[entries[z].param] / total;
+                        }
                       }
-                      if (total <= 0) continue;
-                      ll += std::log(total);
-                      for (size_t z = zb; z < ze; ++z) {
-                        local[entries[z].param] +=
-                            entries[z].f * theta[entries[z].param] / total;
+                      shard_ll[shard] = ll;
+                      if (obs::Enabled()) {
+                        shard_ns[shard] =
+                            obs::TicksToNanos(obs::NowTicks() - t0);
+                        KBQA_HISTOGRAM_RECORD("em.e_step.shard_ns",
+                                              shard_ns[shard]);
                       }
-                    }
-                    shard_ll[shard] = ll;
-                  });
+                    });
+      }
+      if (obs::Enabled()) {
+        // Straggler spread: the gap between the slowest and fastest shard
+        // bounds what adding threads can still recover this iteration.
+        uint64_t max_ns = 0;
+        uint64_t min_ns = UINT64_MAX;
+        for (size_t shard = 0; shard < num_shards; ++shard) {
+          max_ns = std::max(max_ns, shard_ns[shard]);
+          min_ns = std::min(min_ns, shard_ns[shard]);
+        }
+        KBQA_GAUGE_SET("em.e_step.straggler_max_ns", max_ns);
+        KBQA_GAUGE_SET("em.e_step.straggler_min_ns", min_ns);
+      }
       // Shard-ordered reduction.
       std::fill(acc.begin(), acc.end(), 0.0);
       double log_likelihood = 0;
@@ -300,20 +333,29 @@ Status EmLearner::Train(const corpus::QaCorpus& corpus, TemplateStore* store,
         for (size_t i = 0; i < num_params; ++i) acc[i] += local[i];
         log_likelihood += shard_ll[shard];
       }
+      if (obs::Enabled() && !stats->log_likelihood.empty()) {
+        KBQA_GAUGE_SET("em.ll_delta",
+                       log_likelihood - stats->log_likelihood.back());
+      }
+      KBQA_GAUGE_SET("em.log_likelihood", log_likelihood);
       stats->log_likelihood.push_back(log_likelihood);
 
       // M-step: per-template normalization (Eq. 22).
       double max_delta = 0;
-      for (const auto& params : params_of_template) {
-        double denom = 0;
-        for (uint32_t idx : params) denom += acc[idx];
-        if (denom <= 0) continue;
-        for (uint32_t idx : params) {
-          const double next = acc[idx] / denom;
-          max_delta = std::max(max_delta, std::abs(next - theta[idx]));
-          theta[idx] = next;
+      {
+        KBQA_TRACE_SPAN("em.m_step");
+        for (const auto& params : params_of_template) {
+          double denom = 0;
+          for (uint32_t idx : params) denom += acc[idx];
+          if (denom <= 0) continue;
+          for (uint32_t idx : params) {
+            const double next = acc[idx] / denom;
+            max_delta = std::max(max_delta, std::abs(next - theta[idx]));
+            theta[idx] = next;
+          }
         }
       }
+      KBQA_COUNTER_ADD("em.iterations", 1);
       stats->iterations = iter + 1;
       if (max_delta < options_.tolerance) break;
     }

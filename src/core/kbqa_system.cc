@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "nlp/tokenizer.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace kbqa::core {
@@ -17,6 +18,7 @@ Status KbqaSystem::Train(const corpus::QaCorpus& corpus) {
   if (!world_->kb.frozen()) {
     return Status::FailedPrecondition("knowledge base must be frozen");
   }
+  KBQA_TRACE_SPAN("system.train");
 
   // 1. Seed reduction (§6.2): only entities mentioned in corpus questions
   //    start the expansion BFS. Mentions are also reused for the pattern
@@ -24,6 +26,7 @@ Status KbqaSystem::Train(const corpus::QaCorpus& corpus) {
   std::vector<nlp::PatternQuestion> pattern_questions;
   pattern_questions.reserve(corpus.pairs.size());
   {
+    KBQA_TRACE_SPAN("system.seed_reduction");
     std::unordered_set<rdf::TermId> seed_set;
     for (const corpus::QaPair& pair : corpus.pairs) {
       nlp::PatternQuestion pq;
@@ -42,8 +45,11 @@ Status KbqaSystem::Train(const corpus::QaCorpus& corpus) {
   //    the EM worker pool size, so one option drives both phases.
   rdf::ExpansionOptions expansion = options_.expansion;
   if (expansion.num_threads == 0) expansion.num_threads = options_.em.num_threads;
-  auto ekb = rdf::ExpandedKb::Build(world_->kb, seeds_, world_->name_like,
-                                    expansion);
+  auto ekb = [&] {
+    KBQA_TRACE_SPAN("system.expand_predicates");
+    return rdf::ExpandedKb::Build(world_->kb, seeds_, world_->name_like,
+                                  expansion);
+  }();
   if (!ekb.ok()) return ekb.status();
   ekb_ = std::make_unique<rdf::ExpandedKb>(std::move(ekb).value());
 

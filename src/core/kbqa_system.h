@@ -19,6 +19,7 @@
 #include "nlp/ner.h"
 #include "nlp/pattern.h"
 #include "nlp/question_classifier.h"
+#include "obs/metrics.h"
 #include "rdf/expanded_predicate.h"
 #include "util/status.h"
 
@@ -106,6 +107,14 @@ class KbqaSystem : public QaSystemInterface {
   /// Entities seeding the predicate expansion (corpus-mentioned entities —
   /// the "reduction on s" of §6.2).
   const std::vector<rdf::TermId>& expansion_seeds() const { return seeds_; }
+
+  /// Merged point-in-time view of the process-wide observability registry
+  /// (stage latencies, cache hit rates, EM iteration stats, pool metrics).
+  /// Static because the registry is process-wide: every system, pool, and
+  /// engine in the process records into the same one.
+  static obs::MetricsSnapshot MetricsSnapshot() {
+    return obs::MetricsRegistry::Global().Snapshot();
+  }
 
  private:
   const corpus::World* world_;

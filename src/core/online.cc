@@ -6,6 +6,7 @@
 
 #include "core/em_learner.h"
 #include "nlp/tokenizer.h"
+#include "obs/obs.h"
 #include "rdf/query.h"
 #include "util/thread_pool.h"
 
@@ -35,8 +36,11 @@ void VisitTemplateCandidates(const taxonomy::Taxonomy& taxonomy,
       if (i < mention.begin || i >= mention.end) context.push_back(tokens[i]);
     }
     for (rdf::TermId entity : mention.entities) {
-      std::vector<taxonomy::ScoredCategory> categories =
-          taxonomy.Conceptualize(entity, context);
+      std::vector<taxonomy::ScoredCategory> categories;
+      {
+        KBQA_TRACE_SPAN_SAMPLED("answer.conceptualize");
+        categories = taxonomy.Conceptualize(entity, context);
+      }
       if (categories.size() > options.max_categories_per_entity) {
         categories.resize(options.max_categories_per_entity);
       }
@@ -61,6 +65,26 @@ void VisitTemplateCandidates(const taxonomy::Taxonomy& taxonomy,
   }
 }
 
+/// All per-answer registry counters behind one cached lookup: a single
+/// init-guard check on the answer epilogue instead of one per macro site.
+struct OnlineCounters {
+  obs::Counter* answers;
+  obs::Counter* answered;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+
+  static const OnlineCounters& Get() {
+    static const OnlineCounters counters = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return OnlineCounters{r.GetCounter("online.answers"),
+                            r.GetCounter("online.answered"),
+                            r.GetCounter("online.value_cache.hits"),
+                            r.GetCounter("online.value_cache.misses")};
+    }();
+    return counters;
+  }
+};
+
 }  // namespace
 
 OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
@@ -77,8 +101,9 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
       options_(options) {}
 
 const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
-    rdf::TermId entity, rdf::PathId path,
-    std::vector<rdf::TermId>* scratch) const {
+    rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
+    CacheTally* tally) const {
+  KBQA_TRACE_SPAN_SAMPLED("answer.value_lookup");
   if (!options_.enable_value_cache) {
     *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
     return *scratch;
@@ -89,20 +114,45 @@ const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     auto it = value_cache_.find(key);
     // Mapped references are stable: the map is append-only and
     // node-based, so concurrent inserts never invalidate them.
-    if (it != value_cache_.end()) return it->second;
+    if (it != value_cache_.end()) {
+      ++tally->hits;
+      return it->second;
+    }
   }
+  ++tally->misses;
   std::vector<rdf::TermId> values =
       rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   // try_emplace keeps the first writer's entry if another thread raced the
   // same key (both computed identical values from the immutable KB).
   auto [it, inserted] = value_cache_.try_emplace(key, std::move(values));
+  if (inserted) cache_bytes_.Add(it->second.size() * sizeof(rdf::TermId));
   return it->second;
 }
 
-size_t OnlineInference::value_cache_size() const {
+void OnlineInference::FlushAnswerStats(const AnswerResult* result,
+                                       const CacheTally& tally) const {
+  // Per-instance cache stats are unconditional: value_cache_stats() is
+  // part of the API contract, not observability.
+  if (tally.hits != 0) cache_hits_.Add(tally.hits);
+  if (tally.misses != 0) cache_misses_.Add(tally.misses);
+  if (!obs::Enabled()) return;
+  const OnlineCounters& c = OnlineCounters::Get();
+  if (tally.hits != 0) c.cache_hits->Add(tally.hits);
+  if (tally.misses != 0) c.cache_misses->Add(tally.misses);
+  if (result == nullptr) return;  // IsPrimitiveBfq probe
+  c.answers->Add(1);
+  if (result->answered) c.answered->Add(1);
+}
+
+ValueCacheStats OnlineInference::value_cache_stats() const {
+  ValueCacheStats stats;
+  stats.hits = cache_hits_.Value();
+  stats.misses = cache_misses_.Value();
+  stats.bytes = cache_bytes_.Value();
   std::shared_lock<std::shared_mutex> lock(cache_mu_);
-  return value_cache_.size();
+  stats.entries = value_cache_.size();
+  return stats;
 }
 
 AnswerResult OnlineInference::Answer(const std::string& question) const {
@@ -130,8 +180,26 @@ std::vector<AnswerResult> OnlineInference::AnswerAll(
 
 AnswerResult OnlineInference::AnswerTokens(
     const std::vector<std::string>& tokens) const {
+  // All answer spans — including the whole-answer one — record only inside
+  // the 1-in-2^k detail windows opened here, keeping the steady-state cost
+  // to a few thread-local reads per question. The latency histograms are
+  // uniform samples; the counters flushed below stay exact.
+  KBQA_TRACE_DETAIL_WINDOW();
+  KBQA_TRACE_SPAN_SAMPLED("answer");
+  CacheTally tally;
+  AnswerResult result = AnswerTokensImpl(tokens, &tally);
+  FlushAnswerStats(&result, tally);
+  return result;
+}
+
+AnswerResult OnlineInference::AnswerTokensImpl(
+    const std::vector<std::string>& tokens, CacheTally* tally) const {
   AnswerResult result;
-  std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
+  std::vector<nlp::Mention> mentions;
+  {
+    KBQA_TRACE_SPAN_SAMPLED("answer.ner");
+    mentions = ner_->FindMentions(tokens);
+  }
   if (mentions.empty()) return result;
 
   size_t total_entities = 0;
@@ -150,36 +218,42 @@ AnswerResult OnlineInference::AnswerTokens(
   std::unordered_map<rdf::TermId, ValueSupport> posterior;
   std::vector<rdf::TermId> scratch;
 
-  VisitTemplateCandidates(
-      *taxonomy_, *store_, options_, tokens, mentions,
-      [&](const nlp::Mention&, rdf::TermId entity, double p_t, TemplateId t) {
-        ++result.num_templates;
-        for (const PredicateProb& pp : store_->Distribution(t)) {
-          if (pp.probability < options_.min_predicate_prob) continue;
-          ++result.num_predicates;
-          const std::vector<rdf::TermId>& values =
-              CachedObjects(entity, pp.path, &scratch);
-          if (values.empty()) continue;
-          const double p_v = 1.0 / static_cast<double>(values.size());
-          ++result.num_grounded_predicates;
-          result.num_values += values.size();
-          const double term = p_e * p_t * pp.probability * p_v;
-          for (rdf::TermId v : values) {
-            ValueSupport& support = posterior[v];
-            support.score += term;
-            if (term > support.best_term) {
-              support.best_term = term;
-              support.best_template = t;
-              support.best_path = pp.path;
-              support.best_entity = entity;
+  {
+    KBQA_TRACE_SPAN_SAMPLED("answer.template_match");
+    VisitTemplateCandidates(
+        *taxonomy_, *store_, options_, tokens, mentions,
+        [&](const nlp::Mention&, rdf::TermId entity, double p_t,
+            TemplateId t) {
+          ++result.num_templates;
+          KBQA_TRACE_SPAN_SAMPLED("answer.score");
+          for (const PredicateProb& pp : store_->Distribution(t)) {
+            if (pp.probability < options_.min_predicate_prob) continue;
+            ++result.num_predicates;
+            const std::vector<rdf::TermId>& values =
+                CachedObjects(entity, pp.path, &scratch, tally);
+            if (values.empty()) continue;
+            const double p_v = 1.0 / static_cast<double>(values.size());
+            ++result.num_grounded_predicates;
+            result.num_values += values.size();
+            const double term = p_e * p_t * pp.probability * p_v;
+            for (rdf::TermId v : values) {
+              ValueSupport& support = posterior[v];
+              support.score += term;
+              if (term > support.best_term) {
+                support.best_term = term;
+                support.best_template = t;
+                support.best_path = pp.path;
+                support.best_entity = entity;
+              }
             }
           }
-        }
-        return true;
-      });
+          return true;
+        });
+  }
 
   if (posterior.empty()) return result;
 
+  KBQA_TRACE_SPAN_SAMPLED("answer.rank");
   result.ranked.reserve(posterior.size());
   for (const auto& [v, support] : posterior) {
     result.ranked.push_back(AnswerCandidate{v, support.score,
@@ -206,7 +280,7 @@ AnswerResult OnlineInference::AnswerTokens(
   result.sparql = rdf::QueryToString(rdf::BuildPathQuery(
       *kb_, best.best_entity, paths_->GetPath(best.best_path)));
   for (rdf::TermId v : CachedObjects(best.best_entity, best.best_path,
-                                     &scratch)) {
+                                     &scratch, tally)) {
     result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
                                               : kb_->EntityName(v));
   }
@@ -215,21 +289,24 @@ AnswerResult OnlineInference::AnswerTokens(
 
 bool OnlineInference::IsPrimitiveBfq(
     const std::vector<std::string>& tokens) const {
+  KBQA_COUNTER_ADD("online.bfq_probes", 1);
   std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
   bool found = false;
   std::vector<rdf::TermId> scratch;
+  CacheTally tally;
   VisitTemplateCandidates(
       *taxonomy_, *store_, options_, tokens, mentions,
       [&](const nlp::Mention&, rdf::TermId entity, double, TemplateId t) {
         for (const PredicateProb& pp : store_->Distribution(t)) {
           if (pp.probability < options_.min_predicate_prob) continue;
-          if (!CachedObjects(entity, pp.path, &scratch).empty()) {
+          if (!CachedObjects(entity, pp.path, &scratch, &tally).empty()) {
             found = true;
             return false;
           }
         }
         return true;
       });
+  FlushAnswerStats(nullptr, tally);
   return found;
 }
 

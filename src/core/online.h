@@ -9,11 +9,24 @@
 
 #include "core/template_store.h"
 #include "nlp/ner.h"
+#include "obs/metrics.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
 #include "taxonomy/taxonomy.h"
 
 namespace kbqa::core {
+
+/// Accounting for the per-instance V(e, p+) memo cache. `hits`/`misses`
+/// count CachedObjects lookups with the cache enabled; `entries` is the
+/// number of memoized (entity, path) pairs and `bytes` the approximate
+/// payload size of their value vectors. With the cache disabled every
+/// field stays zero.
+struct ValueCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
 
 /// One scored value in the online posterior.
 struct AnswerCandidate {
@@ -107,18 +120,38 @@ class OnlineInference {
   /// indicator of the decomposition DP (§5.3).
   bool IsPrimitiveBfq(const std::vector<std::string>& tokens) const;
 
-  /// Number of (entity, path) pairs currently memoized.
-  size_t value_cache_size() const;
+  /// Hit/miss/size accounting for the value memo cache. The counters are
+  /// per-instance (sharded relaxed atomics, not the global registry) so
+  /// two engines — e.g. a cached and an uncached one in a regression test
+  /// — never contaminate each other's numbers.
+  ValueCacheStats value_cache_stats() const;
 
  private:
+  /// Per-request cache accounting, accumulated on the stack during one
+  /// Answer/probe and flushed into the sharded counters once at the end —
+  /// the per-lookup cost is a plain increment.
+  struct CacheTally {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   /// V(e, p+) through the memo cache. On a miss (or with the cache
   /// disabled) the path walk lands in `*scratch` and the returned reference
   /// points there; on a hit the reference points into the cache (stable:
   /// the map is append-only and node-based). The reference is valid until
   /// the next call with the same `scratch`.
   const std::vector<rdf::TermId>& CachedObjects(
-      rdf::TermId entity, rdf::PathId path,
-      std::vector<rdf::TermId>* scratch) const;
+      rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
+      CacheTally* tally) const;
+
+  AnswerResult AnswerTokensImpl(const std::vector<std::string>& tokens,
+                                CacheTally* tally) const;
+
+  /// Folds one request's tally into the per-instance cache stats and, when
+  /// instrumentation is on, mirrors it plus the per-answer stage counts
+  /// into the global registry. `result` is null for IsPrimitiveBfq probes.
+  void FlushAnswerStats(const AnswerResult* result,
+                        const CacheTally& tally) const;
 
   const rdf::KnowledgeBase* kb_;
   const taxonomy::Taxonomy* taxonomy_;
@@ -130,6 +163,9 @@ class OnlineInference {
   mutable std::shared_mutex cache_mu_;
   /// Key: entity in the high 32 bits, path in the low 32.
   mutable std::unordered_map<uint64_t, std::vector<rdf::TermId>> value_cache_;
+  mutable obs::ShardedCounter cache_hits_;
+  mutable obs::ShardedCounter cache_misses_;
+  mutable obs::ShardedCounter cache_bytes_;
 };
 
 }  // namespace kbqa::core

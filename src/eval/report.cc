@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table_printer.h"
 
 namespace kbqa::eval {
@@ -109,6 +112,11 @@ void EvaluationReport::Print(std::ostream& os) const {
          << jq.gold_answer << "')\n";
     }
   }
+}
+
+void PrintObservabilityReport(std::ostream& os, size_t top_spans) {
+  obs::RenderMetricsTable(obs::MetricsRegistry::Global().Snapshot(), os);
+  obs::Tracing::WriteSpanSummary(os, top_spans);
 }
 
 }  // namespace kbqa::eval

@@ -61,6 +61,13 @@ class EvaluationReport {
   std::vector<JudgedQuestion> failure_examples_;
 };
 
+/// Renders the process-wide observability registry: the counter/gauge and
+/// histogram tables followed by the top-N trace-span summary (count, total
+/// time, avg, p99 per stage). Call after a run to see where the pipeline's
+/// time went; a fresh process with instrumentation disabled prints empty
+/// tables.
+void PrintObservabilityReport(std::ostream& os, size_t top_spans = 12);
+
 }  // namespace kbqa::eval
 
 #endif  // KBQA_EVAL_REPORT_H_

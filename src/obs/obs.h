@@ -1,0 +1,80 @@
+#ifndef KBQA_OBS_OBS_H_
+#define KBQA_OBS_OBS_H_
+
+/// Umbrella header for instrumentation sites: include this and use the
+/// macros below. Each macro caches its registry lookup in a function-local
+/// static, so the steady-state cost is the increment alone. Defining
+/// KBQA_OBS_DISABLED at compile time turns every macro into a no-op
+/// (guard any surrounding stat computation with `if (obs::Enabled())`,
+/// which folds to `if (false)` in that configuration).
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#define KBQA_OBS_CONCAT_INNER(a, b) a##b
+#define KBQA_OBS_CONCAT(a, b) KBQA_OBS_CONCAT_INNER(a, b)
+
+#ifdef KBQA_OBS_DISABLED
+
+#define KBQA_COUNTER_ADD(name, n) static_cast<void>(0)
+#define KBQA_GAUGE_SET(name, v) static_cast<void>(0)
+#define KBQA_HISTOGRAM_RECORD(name, v) static_cast<void>(0)
+#define KBQA_TRACE_SPAN(name) static_cast<void>(0)
+#define KBQA_TRACE_SPAN_SAMPLED(name) static_cast<void>(0)
+#define KBQA_TRACE_DETAIL_WINDOW() static_cast<void>(0)
+
+#else
+
+/// Bumps the named process-wide counter by n.
+#define KBQA_COUNTER_ADD(name, n)                                        \
+  do {                                                                   \
+    static ::kbqa::obs::Counter* const kbqa_obs_counter =                \
+        ::kbqa::obs::MetricsRegistry::Global().GetCounter(name);         \
+    kbqa_obs_counter->Add(static_cast<uint64_t>(n));                     \
+  } while (0)
+
+/// Sets the named gauge to v (converted to double).
+#define KBQA_GAUGE_SET(name, v)                                          \
+  do {                                                                   \
+    static ::kbqa::obs::Gauge* const kbqa_obs_gauge =                    \
+        ::kbqa::obs::MetricsRegistry::Global().GetGauge(name);           \
+    kbqa_obs_gauge->Set(static_cast<double>(v));                         \
+  } while (0)
+
+/// Records v into the named log-bucketed histogram.
+#define KBQA_HISTOGRAM_RECORD(name, v)                                   \
+  do {                                                                   \
+    static ::kbqa::obs::Histogram* const kbqa_obs_histogram =            \
+        ::kbqa::obs::MetricsRegistry::Global().GetHistogram(name);       \
+    kbqa_obs_histogram->Record(static_cast<uint64_t>(v));                \
+  } while (0)
+
+#define KBQA_TRACE_SPAN_IMPL(name, sampled, guard, line)                 \
+  static const ::kbqa::obs::SpanSite KBQA_OBS_CONCAT(kbqa_obs_site_,     \
+                                                     line){name,         \
+                                                           sampled};     \
+  const ::kbqa::obs::guard KBQA_OBS_CONCAT(kbqa_obs_span_, line)(        \
+      &KBQA_OBS_CONCAT(kbqa_obs_site_, line))
+
+/// Scoped trace span: records elapsed ns into histogram "span.<name>" on
+/// scope exit and emits a trace event while Tracing is active. Use for
+/// coarse stages (whole Answer, EM iterations, BFS rounds).
+#define KBQA_TRACE_SPAN(name) \
+  KBQA_TRACE_SPAN_IMPL(name, false, SpanGuard, __LINE__)
+
+/// As KBQA_TRACE_SPAN but recorded only inside a firing detail window
+/// (KBQA_TRACE_DETAIL_WINDOW) — for stages entered many times per answer.
+/// Outside a firing window the cost is one thread-local load and branch.
+#define KBQA_TRACE_SPAN_SAMPLED(name) \
+  KBQA_TRACE_SPAN_IMPL(name, true, SampledSpanGuard, __LINE__)
+
+/// Opens a scoped sampling window for one request-shaped unit of work:
+/// 1 in 2^Tracing::sample_shift() windows fire, and sampled spans inside
+/// a firing window all record (coherent per-request stage breakdowns).
+#define KBQA_TRACE_DETAIL_WINDOW()                                       \
+  const ::kbqa::obs::DetailWindow KBQA_OBS_CONCAT(kbqa_obs_window_,      \
+                                                  __LINE__)
+
+#endif  // KBQA_OBS_DISABLED
+
+#endif  // KBQA_OBS_OBS_H_

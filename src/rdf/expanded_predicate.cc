@@ -4,6 +4,7 @@
 #include <cassert>
 #include <fstream>
 
+#include "obs/obs.h"
 #include "rdf/ntriples.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -180,6 +181,8 @@ Result<ExpandedKb> ExpandedKb::Build(
   size_t triples = 0;
   for (int round = 1; round <= options.max_length && !frontier.empty();
        ++round) {
+    KBQA_TRACE_SPAN("rdf.expand.round");
+    KBQA_HISTOGRAM_RECORD("rdf.expand.frontier_size", frontier.size());
     const bool last_round = round == options.max_length;
     // Scan pass: shards read the (immutable) frontier and KB adjacency and
     // emit shard-local discovery buffers, merged in shard order.
@@ -268,6 +271,8 @@ Result<ExpandedKb> ExpandedKb::BuildFromDisk(
   size_t triples = 0;
   for (int round = 1; round <= options.max_length && !frontier.empty();
        ++round) {
+    KBQA_TRACE_SPAN("rdf.expand.round");
+    KBQA_HISTOGRAM_RECORD("rdf.expand.frontier_size", frontier.size());
     const bool last_round = round == options.max_length;
     // Scan pass: stream the disk-resident KB once in line blocks; each
     // block is parsed and joined against the frontier in parallel.

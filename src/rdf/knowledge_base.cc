@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace kbqa::rdf {
@@ -205,6 +206,8 @@ void KnowledgeBase::AddTriple(std::string_view s, std::string_view p,
 
 void KnowledgeBase::Freeze(int num_threads) {
   if (frozen_) return;
+  KBQA_TRACE_SPAN("rdf.freeze");
+  KBQA_HISTOGRAM_RECORD("rdf.freeze.staged_triples", staging_.size());
   ThreadPool pool(num_threads);
   Csr out = BuildCsr(pool, staging_, nodes_.size(), /*by_subject=*/true);
   Csr in = BuildCsr(pool, staging_, nodes_.size(), /*by_subject=*/false);
@@ -221,6 +224,7 @@ void KnowledgeBase::Freeze(int num_threads) {
 
 void KnowledgeBase::BuildNameIndex() {
   if (name_predicate_ == kInvalidPred) return;
+  KBQA_TRACE_SPAN("rdf.build_name_index");
   for (TermId s = 0; s < nodes_.size(); ++s) {
     for (const auto& [p, o] : ObjectsRange(s, name_predicate_)) {
       (void)p;

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "obs/obs.h"
+
 namespace kbqa {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -45,7 +47,11 @@ void ThreadPool::DrainShards() {
       ++shards_in_flight_;
       job = job_;
     }
-    (*job)(shard);
+    {
+      KBQA_TRACE_SPAN("thread_pool.task");
+      (*job)(shard);
+    }
+    KBQA_COUNTER_ADD("thread_pool.tasks", 1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --shards_in_flight_;
@@ -59,9 +65,18 @@ void ThreadPool::DrainShards() {
 void ThreadPool::RunShards(size_t num_shards,
                            const std::function<void(size_t)>& fn) {
   if (num_shards == 0) return;
+  // Queue depth is a high-water gauge: the shard count of the job being
+  // submitted (drained to 0 by completion below).
+  KBQA_GAUGE_SET("thread_pool.queue_depth", num_shards);
+  KBQA_COUNTER_ADD("thread_pool.jobs", 1);
   if (workers_.empty()) {
     // Single-threaded pool: run inline, no synchronization.
-    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      KBQA_TRACE_SPAN("thread_pool.task");
+      fn(shard);
+    }
+    KBQA_COUNTER_ADD("thread_pool.tasks", num_shards);
+    KBQA_GAUGE_SET("thread_pool.queue_depth", 0);
     return;
   }
   {
@@ -80,6 +95,7 @@ void ThreadPool::RunShards(size_t num_shards,
     });
     job_ = nullptr;
   }
+  KBQA_GAUGE_SET("thread_pool.queue_depth", 0);
 }
 
 }  // namespace kbqa

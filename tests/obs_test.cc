@@ -1,0 +1,275 @@
+// Tests for the observability substrate: sharded-metric determinism,
+// histogram bucket math, snapshot JSON round-trips, trace export, span
+// sampling, and the runtime kill switch.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace kbqa {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds only the value 0; bucket b >= 1 holds [2^(b-1), 2^b-1].
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketOf(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketOf(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(obs::Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(obs::Histogram::BucketOf(UINT64_MAX), 63);
+
+  EXPECT_EQ(obs::Histogram::UpperBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::UpperBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::UpperBound(2), 3u);
+  EXPECT_EQ(obs::Histogram::UpperBound(10), 1023u);
+  EXPECT_EQ(obs::Histogram::UpperBound(63), UINT64_MAX);
+
+  // Every representable value falls inside its bucket's range.
+  for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 100ull, 4096ull, 1ull << 40}) {
+    const int b = obs::Histogram::BucketOf(v);
+    EXPECT_LE(v, obs::Histogram::UpperBound(b)) << v;
+    if (b > 0) EXPECT_GT(v, obs::Histogram::UpperBound(b - 1)) << v;
+  }
+}
+
+TEST(HistogramTest, CountSumAndQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("h");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+  EXPECT_EQ(h->Count(), 100u);
+  EXPECT_EQ(h->Sum(), 5050u);
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.histogram("h");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 100u);
+  EXPECT_DOUBLE_EQ(entry->Mean(), 50.5);
+  // The log-bucket quantile is the upper bound of the covering bucket:
+  // the median of 1..100 lands in bucket [32, 63].
+  EXPECT_EQ(entry->ApproxQuantile(0.5), 63u);
+  EXPECT_EQ(entry->ApproxQuantile(1.0), 127u);
+
+  h->Reset();
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Sum(), 0u);
+}
+
+// The tentpole determinism contract: a snapshot depends only on the set of
+// updates applied, never on how many threads applied them or which shard
+// cell each landed in.
+TEST(MetricsDeterminism, SnapshotIndependentOfThreadCount) {
+  std::vector<obs::MetricsSnapshot> snaps;
+  for (int threads : {1, 2, 8}) {
+    obs::MetricsRegistry registry;
+    obs::Counter* counter = registry.GetCounter("det.counter");
+    obs::Histogram* histogram = registry.GetHistogram("det.histogram");
+    obs::Gauge* gauge = registry.GetGauge("det.gauge");
+    ThreadPool pool(threads);
+    pool.RunShards(64, [&](size_t shard) {
+      counter->Add(shard + 1);
+      histogram->Record(shard * 37);
+      histogram->Record(1u << (shard % 20));
+    });
+    gauge->Set(2.5);
+    snaps.push_back(registry.Snapshot());
+  }
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0], snaps[1]);
+  EXPECT_EQ(snaps[0], snaps[2]);
+  const auto* c = snaps[0].counter("det.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 64u * 65u / 2u);
+}
+
+TEST(MetricsSnapshotTest, JsonRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(42);
+  registry.GetCounter("name with \"quotes\" and \\slashes\\")->Add(7);
+  registry.GetGauge("g.pi")->Set(3.14159265358979);
+  registry.GetGauge("g.negative")->Set(-0.125);
+  obs::Histogram* h = registry.GetHistogram("h.latency");
+  h->Record(0);
+  h->Record(17);
+  h->Record(123456789);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const std::string json = snap.ToJson();
+  obs::MetricsSnapshot parsed;
+  ASSERT_TRUE(obs::MetricsSnapshot::FromJson(json, &parsed)) << json;
+  EXPECT_EQ(snap, parsed);
+  // Round-tripping the re-serialized form is a fixed point.
+  EXPECT_EQ(parsed.ToJson(), json);
+}
+
+TEST(MetricsSnapshotTest, FromJsonRejectsMalformed) {
+  obs::MetricsSnapshot out;
+  EXPECT_FALSE(obs::MetricsSnapshot::FromJson("", &out));
+  EXPECT_FALSE(obs::MetricsSnapshot::FromJson("{", &out));
+  EXPECT_FALSE(obs::MetricsSnapshot::FromJson("[]", &out));
+  EXPECT_FALSE(obs::MetricsSnapshot::FromJson(
+      "{\"counters\": [{\"name\": \"x\"}]}", &out));
+  // Trailing garbage after a valid document is an error too.
+  const std::string valid = obs::MetricsSnapshot().ToJson();
+  EXPECT_TRUE(obs::MetricsSnapshot::FromJson(valid, &out));
+  EXPECT_FALSE(obs::MetricsSnapshot::FromJson(valid + "x", &out));
+}
+
+TEST(MetricsRegistryTest, RuntimeKillSwitchDropsUpdates) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("kill.counter");
+  obs::Histogram* h = registry.GetHistogram("kill.histogram");
+  const bool was_enabled = obs::MetricsRegistry::enabled();
+  obs::MetricsRegistry::set_enabled(false);
+  c->Add(5);
+  h->Record(99);
+  obs::MetricsRegistry::set_enabled(true);
+  c->Add(3);
+  h->Record(7);
+  obs::MetricsRegistry::set_enabled(was_enabled);
+  EXPECT_EQ(c->Value(), 3u);
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("same");
+  obs::Counter* b = registry.GetCounter("same");
+  EXPECT_EQ(a, b);
+  a->Add(1);
+  a->Add(1);
+  EXPECT_EQ(b->Value(), 2u);
+  registry.Reset();
+  EXPECT_EQ(b->Value(), 0u);
+}
+
+TEST(ScopedTimerTest, RecordsIntoHistogramOnDestruction) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("scoped.ns");
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+TEST(ExpositionTest, RendersMetricsTable) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("render.counter")->Add(5);
+  registry.GetGauge("render.gauge")->Set(1.5);
+  registry.GetHistogram("render.histogram")->Record(1000);
+  std::ostringstream os;
+  obs::RenderMetricsTable(registry.Snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("render.counter"), std::string::npos);
+  EXPECT_NE(out.find("render.gauge"), std::string::npos);
+  EXPECT_NE(out.find("render.histogram"), std::string::npos);
+}
+
+#ifdef KBQA_OBS_DISABLED
+
+TEST(TracingTest, MacrosCompiledOut) {
+  GTEST_SKIP() << "instrumentation macros are compiled out";
+}
+
+#else  // !KBQA_OBS_DISABLED
+
+// Extracts the "name" values from a Chrome trace-event JSON document, in
+// document order.
+std::vector<std::string> EventNames(const std::string& json) {
+  std::vector<std::string> names;
+  const std::string key = "\"name\": \"";
+  for (size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos)) {
+    pos += key.size();
+    const size_t end = json.find('"', pos);
+    names.push_back(json.substr(pos, end - pos));
+    pos = end;
+  }
+  return names;
+}
+
+// Golden structure of a single-threaded trace: events sorted by begin
+// time, so nesting order is exactly the source order of span entry.
+TEST(TracingTest, ChromeTraceGoldenStructure) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::Tracing::Start();
+  {
+    KBQA_TRACE_SPAN("golden.outer");
+    KBQA_TRACE_DETAIL_WINDOW();  // fires unconditionally while tracing
+    { KBQA_TRACE_SPAN("golden.inner"); }
+    { KBQA_TRACE_SPAN_SAMPLED("golden.sampled"); }
+  }
+  obs::Tracing::Stop();
+  EXPECT_EQ(obs::Tracing::CollectedEvents(), 3u);
+
+  std::ostringstream os;
+  obs::Tracing::ExportChromeTrace(os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(EventNames(json),
+            (std::vector<std::string>{"golden.outer", "golden.inner",
+                                      "golden.sampled"}));
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"kbqa\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\": 0"), std::string::npos);
+
+  // The spans also fed their histograms in the global registry.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  for (const char* name :
+       {"span.golden.outer", "span.golden.inner", "span.golden.sampled"}) {
+    const auto* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->count, 1u) << name;
+  }
+}
+
+TEST(TracingTest, SampledSpansRecordOnlyInFiringDetailWindows) {
+  ASSERT_FALSE(obs::Tracing::active());
+  obs::MetricsRegistry::set_enabled(true);
+  obs::MetricsRegistry::Global().GetHistogram("span.sampling.probe")->Reset();
+
+  // Outside any detail window a sampled site never records.
+  for (int i = 0; i < 100; ++i) {
+    KBQA_TRACE_SPAN_SAMPLED("sampling.probe");
+  }
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetHistogram("span.sampling.probe")
+                ->Count(),
+            0u);
+
+  const unsigned old_shift = obs::Tracing::sample_shift();
+  // 1 in 4 windows fire; SetSampleShift resets this thread's countdown,
+  // so the count over 400 request-shaped iterations is exact.
+  obs::Tracing::SetSampleShift(2);
+  for (int i = 0; i < 400; ++i) {
+    obs::DetailWindow window;
+    KBQA_TRACE_SPAN_SAMPLED("sampling.probe");
+  }
+  obs::Tracing::SetSampleShift(old_shift);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetHistogram("span.sampling.probe")
+                ->Count(),
+            100u);
+}
+
+TEST(TracingTest, WriteSpanSummaryListsTopSpans) {
+  obs::MetricsRegistry::set_enabled(true);
+  { KBQA_TRACE_SPAN("summary.span"); }
+  std::ostringstream os;
+  obs::Tracing::WriteSpanSummary(os, 100);
+  EXPECT_NE(os.str().find("summary.span"), std::string::npos);
+}
+
+#endif  // KBQA_OBS_DISABLED
+
+}  // namespace
+}  // namespace kbqa

@@ -223,8 +223,19 @@ TEST_F(ParallelSystemTest, CachedInferenceMatchesUncached) {
           << q;
     }
   }
-  EXPECT_GT(cached.value_cache_size(), 0u);
-  EXPECT_EQ(uncached.value_cache_size(), 0u);
+  // Cache accounting: this test is single-threaded, so every lookup is
+  // exactly a hit or a miss, every miss inserts, and the cached engine's
+  // books must balance. The uncached engine bypasses the cache entirely.
+  const core::ValueCacheStats stats = cached.value_cache_stats();
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GT(stats.hits, 0u);  // Pass 2 rereads pass 1's entries.
+  EXPECT_EQ(stats.misses, stats.entries);
+  EXPECT_GT(stats.hits + stats.misses, stats.entries);
+  const core::ValueCacheStats none = uncached.value_cache_stats();
+  EXPECT_EQ(none.hits, 0u);
+  EXPECT_EQ(none.misses, 0u);
+  EXPECT_EQ(none.entries, 0u);
+  EXPECT_EQ(none.bytes, 0u);
 }
 
 TEST_F(ParallelSystemTest, BatchedRunnerMatchesSequentialRunner) {
