@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_em"
+  "../bench/bench_ablation_em.pdb"
+  "CMakeFiles/bench_ablation_em.dir/bench_ablation_em.cpp.o"
+  "CMakeFiles/bench_ablation_em.dir/bench_ablation_em.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

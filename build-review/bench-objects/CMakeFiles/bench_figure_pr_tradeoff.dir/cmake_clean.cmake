@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure_pr_tradeoff"
+  "../bench/bench_figure_pr_tradeoff.pdb"
+  "CMakeFiles/bench_figure_pr_tradeoff.dir/bench_figure_pr_tradeoff.cpp.o"
+  "CMakeFiles/bench_figure_pr_tradeoff.dir/bench_figure_pr_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure_pr_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_observability"
+  "../bench/bench_observability.pdb"
+  "CMakeFiles/bench_observability.dir/bench_observability.cpp.o"
+  "CMakeFiles/bench_observability.dir/bench_observability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

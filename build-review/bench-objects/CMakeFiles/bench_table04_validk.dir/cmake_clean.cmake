@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_validk"
+  "../bench/bench_table04_validk.pdb"
+  "CMakeFiles/bench_table04_validk.dir/bench_table04_validk.cpp.o"
+  "CMakeFiles/bench_table04_validk.dir/bench_table04_validk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_validk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table06_uncertainty"
+  "../bench/bench_table06_uncertainty.pdb"
+  "CMakeFiles/bench_table06_uncertainty.dir/bench_table06_uncertainty.cpp.o"
+  "CMakeFiles/bench_table06_uncertainty.dir/bench_table06_uncertainty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

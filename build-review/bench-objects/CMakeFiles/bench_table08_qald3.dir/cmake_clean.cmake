@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_qald3"
+  "../bench/bench_table08_qald3.pdb"
+  "CMakeFiles/bench_table08_qald3.dir/bench_table08_qald3.cpp.o"
+  "CMakeFiles/bench_table08_qald3.dir/bench_table08_qald3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_qald3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table10_webquestions.cpp" "bench-objects/CMakeFiles/bench_table10_webquestions.dir/bench_table10_webquestions.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_table10_webquestions.dir/bench_table10_webquestions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/eval/CMakeFiles/kbqa_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/kbqa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/kbqa_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/corpus/CMakeFiles/kbqa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nlp/CMakeFiles/kbqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taxonomy/CMakeFiles/kbqa_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/kbqa_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/kbqa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/kbqa_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_webquestions"
+  "../bench/bench_table10_webquestions.pdb"
+  "CMakeFiles/bench_table10_webquestions.dir/bench_table10_webquestions.cpp.o"
+  "CMakeFiles/bench_table10_webquestions.dir/bench_table10_webquestions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_webquestions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

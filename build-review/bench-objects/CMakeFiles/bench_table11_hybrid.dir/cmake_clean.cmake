@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_hybrid"
+  "../bench/bench_table11_hybrid.pdb"
+  "CMakeFiles/bench_table11_hybrid.dir/bench_table11_hybrid.cpp.o"
+  "CMakeFiles/bench_table11_hybrid.dir/bench_table11_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

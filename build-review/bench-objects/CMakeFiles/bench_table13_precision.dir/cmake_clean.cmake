@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table13_precision"
+  "../bench/bench_table13_precision.pdb"
+  "CMakeFiles/bench_table13_precision.dir/bench_table13_precision.cpp.o"
+  "CMakeFiles/bench_table13_precision.dir/bench_table13_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table15_complex"
+  "../bench/bench_table15_complex.pdb"
+  "CMakeFiles/bench_table15_complex.dir/bench_table15_complex.cpp.o"
+  "CMakeFiles/bench_table15_complex.dir/bench_table15_complex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

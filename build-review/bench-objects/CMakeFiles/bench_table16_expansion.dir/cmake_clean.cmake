@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table16_expansion"
+  "../bench/bench_table16_expansion.pdb"
+  "CMakeFiles/bench_table16_expansion.dir/bench_table16_expansion.cpp.o"
+  "CMakeFiles/bench_table16_expansion.dir/bench_table16_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

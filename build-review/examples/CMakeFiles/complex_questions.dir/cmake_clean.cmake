@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_questions.dir/complex_questions.cpp.o"
+  "CMakeFiles/complex_questions.dir/complex_questions.cpp.o.d"
+  "complex_questions"
+  "complex_questions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_questions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for complex_questions.
+# This may be replaced when dependencies are built.

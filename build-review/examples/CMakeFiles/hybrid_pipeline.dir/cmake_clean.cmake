@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_pipeline.dir/hybrid_pipeline.cpp.o"
+  "CMakeFiles/hybrid_pipeline.dir/hybrid_pipeline.cpp.o.d"
+  "hybrid_pipeline"
+  "hybrid_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

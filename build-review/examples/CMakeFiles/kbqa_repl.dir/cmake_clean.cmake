@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_repl.dir/kbqa_repl.cpp.o"
+  "CMakeFiles/kbqa_repl.dir/kbqa_repl.cpp.o.d"
+  "kbqa_repl"
+  "kbqa_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_pipeline.dir/offline_pipeline.cpp.o"
+  "CMakeFiles/offline_pipeline.dir/offline_pipeline.cpp.o.d"
+  "offline_pipeline"
+  "offline_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_kb.dir/toy_kb.cpp.o"
+  "CMakeFiles/toy_kb.dir/toy_kb.cpp.o.d"
+  "toy_kb"
+  "toy_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

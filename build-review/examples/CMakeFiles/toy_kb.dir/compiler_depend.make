@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toy_kb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for toy_kb.
+# This may be replaced when dependencies are built.

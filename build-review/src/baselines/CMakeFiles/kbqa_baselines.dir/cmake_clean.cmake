@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_baselines.dir/alignment_qa.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/alignment_qa.cc.o.d"
+  "CMakeFiles/kbqa_baselines.dir/graph_qa.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/graph_qa.cc.o.d"
+  "CMakeFiles/kbqa_baselines.dir/keyword_qa.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/keyword_qa.cc.o.d"
+  "CMakeFiles/kbqa_baselines.dir/rule_qa.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/rule_qa.cc.o.d"
+  "CMakeFiles/kbqa_baselines.dir/synonym_lexicon.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/synonym_lexicon.cc.o.d"
+  "CMakeFiles/kbqa_baselines.dir/synonym_qa.cc.o"
+  "CMakeFiles/kbqa_baselines.dir/synonym_qa.cc.o.d"
+  "libkbqa_baselines.a"
+  "libkbqa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

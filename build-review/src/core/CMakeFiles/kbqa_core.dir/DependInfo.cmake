@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decomposer.cc" "src/core/CMakeFiles/kbqa_core.dir/decomposer.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/decomposer.cc.o.d"
+  "/root/repo/src/core/em_learner.cc" "src/core/CMakeFiles/kbqa_core.dir/em_learner.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/em_learner.cc.o.d"
+  "/root/repo/src/core/ev_extraction.cc" "src/core/CMakeFiles/kbqa_core.dir/ev_extraction.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/ev_extraction.cc.o.d"
+  "/root/repo/src/core/kbqa_system.cc" "src/core/CMakeFiles/kbqa_core.dir/kbqa_system.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/kbqa_system.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/kbqa_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/kbqa_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/online.cc.o.d"
+  "/root/repo/src/core/template_store.cc" "src/core/CMakeFiles/kbqa_core.dir/template_store.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/template_store.cc.o.d"
+  "/root/repo/src/core/variants.cc" "src/core/CMakeFiles/kbqa_core.dir/variants.cc.o" "gcc" "src/core/CMakeFiles/kbqa_core.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/corpus/CMakeFiles/kbqa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nlp/CMakeFiles/kbqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taxonomy/CMakeFiles/kbqa_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/kbqa_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/kbqa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/kbqa_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_core.dir/decomposer.cc.o"
+  "CMakeFiles/kbqa_core.dir/decomposer.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/em_learner.cc.o"
+  "CMakeFiles/kbqa_core.dir/em_learner.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/ev_extraction.cc.o"
+  "CMakeFiles/kbqa_core.dir/ev_extraction.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/kbqa_system.cc.o"
+  "CMakeFiles/kbqa_core.dir/kbqa_system.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/model_io.cc.o"
+  "CMakeFiles/kbqa_core.dir/model_io.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/online.cc.o"
+  "CMakeFiles/kbqa_core.dir/online.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/template_store.cc.o"
+  "CMakeFiles/kbqa_core.dir/template_store.cc.o.d"
+  "CMakeFiles/kbqa_core.dir/variants.cc.o"
+  "CMakeFiles/kbqa_core.dir/variants.cc.o.d"
+  "libkbqa_core.a"
+  "libkbqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/kbqa_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/kbqa_corpus.dir/name_generator.cc.o"
+  "CMakeFiles/kbqa_corpus.dir/name_generator.cc.o.d"
+  "CMakeFiles/kbqa_corpus.dir/qa_generator.cc.o"
+  "CMakeFiles/kbqa_corpus.dir/qa_generator.cc.o.d"
+  "CMakeFiles/kbqa_corpus.dir/schema.cc.o"
+  "CMakeFiles/kbqa_corpus.dir/schema.cc.o.d"
+  "CMakeFiles/kbqa_corpus.dir/world_generator.cc.o"
+  "CMakeFiles/kbqa_corpus.dir/world_generator.cc.o.d"
+  "libkbqa_corpus.a"
+  "libkbqa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_eval.dir/experiment.cc.o"
+  "CMakeFiles/kbqa_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/kbqa_eval.dir/report.cc.o"
+  "CMakeFiles/kbqa_eval.dir/report.cc.o.d"
+  "CMakeFiles/kbqa_eval.dir/runner.cc.o"
+  "CMakeFiles/kbqa_eval.dir/runner.cc.o.d"
+  "libkbqa_eval.a"
+  "libkbqa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/ner.cc" "src/nlp/CMakeFiles/kbqa_nlp.dir/ner.cc.o" "gcc" "src/nlp/CMakeFiles/kbqa_nlp.dir/ner.cc.o.d"
+  "/root/repo/src/nlp/pattern.cc" "src/nlp/CMakeFiles/kbqa_nlp.dir/pattern.cc.o" "gcc" "src/nlp/CMakeFiles/kbqa_nlp.dir/pattern.cc.o.d"
+  "/root/repo/src/nlp/question_classifier.cc" "src/nlp/CMakeFiles/kbqa_nlp.dir/question_classifier.cc.o" "gcc" "src/nlp/CMakeFiles/kbqa_nlp.dir/question_classifier.cc.o.d"
+  "/root/repo/src/nlp/stopwords.cc" "src/nlp/CMakeFiles/kbqa_nlp.dir/stopwords.cc.o" "gcc" "src/nlp/CMakeFiles/kbqa_nlp.dir/stopwords.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/nlp/CMakeFiles/kbqa_nlp.dir/tokenizer.cc.o" "gcc" "src/nlp/CMakeFiles/kbqa_nlp.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rdf/CMakeFiles/kbqa_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/kbqa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/kbqa_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

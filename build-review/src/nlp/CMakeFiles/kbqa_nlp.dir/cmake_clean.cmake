@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_nlp.dir/ner.cc.o"
+  "CMakeFiles/kbqa_nlp.dir/ner.cc.o.d"
+  "CMakeFiles/kbqa_nlp.dir/pattern.cc.o"
+  "CMakeFiles/kbqa_nlp.dir/pattern.cc.o.d"
+  "CMakeFiles/kbqa_nlp.dir/question_classifier.cc.o"
+  "CMakeFiles/kbqa_nlp.dir/question_classifier.cc.o.d"
+  "CMakeFiles/kbqa_nlp.dir/stopwords.cc.o"
+  "CMakeFiles/kbqa_nlp.dir/stopwords.cc.o.d"
+  "CMakeFiles/kbqa_nlp.dir/tokenizer.cc.o"
+  "CMakeFiles/kbqa_nlp.dir/tokenizer.cc.o.d"
+  "libkbqa_nlp.a"
+  "libkbqa_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_obs.dir/metrics.cc.o"
+  "CMakeFiles/kbqa_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/kbqa_obs.dir/trace.cc.o"
+  "CMakeFiles/kbqa_obs.dir/trace.cc.o.d"
+  "libkbqa_obs.a"
+  "libkbqa_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dictionary.cc" "src/rdf/CMakeFiles/kbqa_rdf.dir/dictionary.cc.o" "gcc" "src/rdf/CMakeFiles/kbqa_rdf.dir/dictionary.cc.o.d"
+  "/root/repo/src/rdf/expanded_predicate.cc" "src/rdf/CMakeFiles/kbqa_rdf.dir/expanded_predicate.cc.o" "gcc" "src/rdf/CMakeFiles/kbqa_rdf.dir/expanded_predicate.cc.o.d"
+  "/root/repo/src/rdf/knowledge_base.cc" "src/rdf/CMakeFiles/kbqa_rdf.dir/knowledge_base.cc.o" "gcc" "src/rdf/CMakeFiles/kbqa_rdf.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/rdf/CMakeFiles/kbqa_rdf.dir/ntriples.cc.o" "gcc" "src/rdf/CMakeFiles/kbqa_rdf.dir/ntriples.cc.o.d"
+  "/root/repo/src/rdf/query.cc" "src/rdf/CMakeFiles/kbqa_rdf.dir/query.cc.o" "gcc" "src/rdf/CMakeFiles/kbqa_rdf.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/kbqa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/kbqa_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/kbqa_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/kbqa_rdf.dir/expanded_predicate.cc.o"
+  "CMakeFiles/kbqa_rdf.dir/expanded_predicate.cc.o.d"
+  "CMakeFiles/kbqa_rdf.dir/knowledge_base.cc.o"
+  "CMakeFiles/kbqa_rdf.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/kbqa_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/kbqa_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/kbqa_rdf.dir/query.cc.o"
+  "CMakeFiles/kbqa_rdf.dir/query.cc.o.d"
+  "libkbqa_rdf.a"
+  "libkbqa_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/kbqa_taxonomy.dir/taxonomy.cc.o.d"
+  "libkbqa_taxonomy.a"
+  "libkbqa_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

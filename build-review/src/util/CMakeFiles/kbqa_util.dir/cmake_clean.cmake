@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbqa_util.dir/rng.cc.o"
+  "CMakeFiles/kbqa_util.dir/rng.cc.o.d"
+  "CMakeFiles/kbqa_util.dir/status.cc.o"
+  "CMakeFiles/kbqa_util.dir/status.cc.o.d"
+  "CMakeFiles/kbqa_util.dir/strings.cc.o"
+  "CMakeFiles/kbqa_util.dir/strings.cc.o.d"
+  "CMakeFiles/kbqa_util.dir/table_printer.cc.o"
+  "CMakeFiles/kbqa_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/kbqa_util.dir/thread_pool.cc.o"
+  "CMakeFiles/kbqa_util.dir/thread_pool.cc.o.d"
+  "libkbqa_util.a"
+  "libkbqa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbqa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

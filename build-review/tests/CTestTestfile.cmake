@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rdf_test[1]_include.cmake")
+include("/root/repo/build-review/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build-review/tests/nlp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/decomposer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/edge_case_test[1]_include.cmake")
+include("/root/repo/build-review/tests/io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_test[1]_include.cmake")
