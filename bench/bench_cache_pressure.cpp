@@ -1,0 +1,263 @@
+// Serving-cache pressure benchmark: proves the memory-budgeted sharded LRU
+// value cache (PR 4) holds its byte accounting under a 64 MiB budget while
+// losing little hit rate on a realistic (Zipfian) stream, and that the
+// worst case — a uniform stream over a keyspace much larger than the
+// budget — completes with flat RSS instead of growing until the OOM killer
+// fires (the failure mode of the former append-only cache). A final
+// end-to-end section runs a budgeted OnlineInference engine against an
+// unbounded one on the same questions and checks identical answers. Emits
+// BENCH_cache.json.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/distributions.h"
+#include "util/lru_cache.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kbqa;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+/// Current resident set in MiB from /proc/self/status (0 off-Linux).
+double RssMib() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<double>(kb) / 1024.0;
+#else
+  return 0;
+#endif
+}
+
+using Cache = ShardedLruCache<uint64_t, std::vector<uint32_t>>;
+
+constexpr uint64_t kBudgetBytes = 64ull << 20;  // 64 MiB
+constexpr uint64_t kKeyspace = 1'000'000;
+constexpr size_t kOps = 3'000'000;
+
+/// Payload length for a key: 8..71 uint32s, ~160 B average charge, so the
+/// full keyspace is ~150 MiB — 2.4x the budget.
+size_t PayloadLen(uint64_t key) { return 8 + key % 64; }
+
+std::vector<uint32_t> MakePayload(uint64_t key) {
+  std::vector<uint32_t> payload(PayloadLen(key));
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint32_t>(key + i);
+  }
+  return payload;
+}
+
+struct StreamResult {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t final_bytes = 0;
+  uint64_t final_entries = 0;
+  double hit_rate = 0;
+  double seconds = 0;
+  double rss_before_mib = 0;
+  double rss_after_mib = 0;
+};
+
+/// Drives `ops` Get-or-Insert operations against a fresh cache, sampling
+/// the byte accounting every 64K ops and asserting it never exceeds the
+/// budget (when one is set).
+template <typename NextKey>
+StreamResult DriveStream(uint64_t budget_bytes, size_t ops, NextKey&& next) {
+  Cache cache(budget_bytes);
+  StreamResult r;
+  r.rss_before_mib = RssMib();
+  Timer timer;
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < ops; ++i) {
+    const uint64_t key = next();
+    if (cache.Get(key, &out)) {
+      ++r.hits;
+    } else {
+      ++r.misses;
+      cache.Insert(key, MakePayload(key),
+                   PayloadLen(key) * sizeof(uint32_t));
+    }
+    if ((i & 0xFFFF) == 0) {
+      const uint64_t bytes = cache.GetStats().bytes;
+      r.peak_bytes = std::max(r.peak_bytes, bytes);
+      if (budget_bytes != 0) {
+        Check(bytes <= budget_bytes, "byte accounting within budget");
+      }
+    }
+  }
+  r.seconds = timer.ElapsedSeconds();
+  const Cache::Stats stats = cache.GetStats();
+  r.peak_bytes = std::max(r.peak_bytes, stats.bytes);
+  r.final_bytes = stats.bytes;
+  r.final_entries = stats.entries;
+  r.evictions = stats.evictions;
+  r.hit_rate = static_cast<double>(r.hits) / static_cast<double>(ops);
+  r.rss_after_mib = RssMib();
+  return r;
+}
+
+void PrintStream(const char* name, const StreamResult& r) {
+  std::printf(
+      "[%s] %.2fM ops in %.2fs: hit rate %.3f, %" PRIu64
+      " evictions, peak %.1f MiB accounted, %" PRIu64
+      " entries resident, RSS %.0f -> %.0f MiB\n",
+      name, static_cast<double>(kOps) / 1e6, r.seconds, r.hit_rate,
+      r.evictions, static_cast<double>(r.peak_bytes) / (1 << 20),
+      r.final_entries, r.rss_before_mib, r.rss_after_mib);
+}
+
+void EmitJson(std::FILE* out, const char* name, const StreamResult& bounded,
+              const StreamResult& unbounded, const char* trailing) {
+  std::fprintf(out,
+               "  \"%s\": {\n"
+               "    \"ops\": %zu, \"keyspace\": %" PRIu64 ",\n"
+               "    \"budgeted\": {\"hit_rate\": %.4f, \"evictions\": %" PRIu64
+               ", \"peak_accounted_bytes\": %" PRIu64
+               ", \"entries\": %" PRIu64 ", \"rss_delta_mib\": %.1f},\n"
+               "    \"unbounded\": {\"hit_rate\": %.4f, \"final_bytes\": %" PRIu64
+               ", \"rss_delta_mib\": %.1f},\n"
+               "    \"hit_rate_loss\": %.4f\n  }%s\n",
+               name, kOps, kKeyspace, bounded.hit_rate, bounded.evictions,
+               bounded.peak_bytes, bounded.final_entries,
+               bounded.rss_after_mib - bounded.rss_before_mib,
+               unbounded.hit_rate, unbounded.final_bytes,
+               unbounded.rss_after_mib - unbounded.rss_before_mib,
+               unbounded.hit_rate - bounded.hit_rate, trailing);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "[config] budget %.0f MiB, keyspace %.1fM keys (~150 MiB of values), "
+      "%.1fM ops per stream\n",
+      static_cast<double>(kBudgetBytes) / (1 << 20),
+      static_cast<double>(kKeyspace) / 1e6, static_cast<double>(kOps) / 1e6);
+
+  // ---- Budgeted arms first, so their RSS readings are not inflated by
+  // the unbounded comparison arms' retained heap. ----
+  Rng zipf_rng(17);
+  ZipfSampler zipf(kKeyspace, 0.99);
+  StreamResult zipf_bounded = DriveStream(
+      kBudgetBytes, kOps, [&] { return static_cast<uint64_t>(zipf.Sample(zipf_rng)); });
+  PrintStream("zipfian/64MiB", zipf_bounded);
+
+  Rng uni_rng(18);
+  StreamResult uni_bounded =
+      DriveStream(kBudgetBytes, kOps, [&] { return uni_rng.Uniform(kKeyspace); });
+  PrintStream("uniform/64MiB", uni_bounded);
+
+  // The worst-case stream must hold the accounting under budget and keep
+  // RSS flat-ish: the resident footprint is the budget plus per-entry
+  // index/list overhead, not a function of how many misses streamed by.
+  Check(uni_bounded.peak_bytes <= kBudgetBytes, "uniform peak within budget");
+  Check(uni_bounded.evictions > 0, "uniform stream evicted");
+  Check(uni_bounded.rss_after_mib - uni_bounded.rss_before_mib < 512,
+        "uniform stream RSS stayed bounded");
+
+  // ---- Unbounded comparison arms (the pre-budget behavior). ----
+  Rng zipf_rng2(17);
+  ZipfSampler zipf2(kKeyspace, 0.99);
+  StreamResult zipf_unbounded = DriveStream(
+      0, kOps, [&] { return static_cast<uint64_t>(zipf2.Sample(zipf_rng2)); });
+  PrintStream("zipfian/unbounded", zipf_unbounded);
+
+  Rng uni_rng2(18);
+  StreamResult uni_unbounded =
+      DriveStream(0, kOps, [&] { return uni_rng2.Uniform(kKeyspace); });
+  PrintStream("uniform/unbounded", uni_unbounded);
+
+  Check(zipf_unbounded.evictions == 0, "unbounded never evicts");
+  // A skewed stream keeps its hot head resident under the budget, so the
+  // hit-rate loss vs. infinite memory must stay small.
+  const double zipf_loss = zipf_unbounded.hit_rate - zipf_bounded.hit_rate;
+  std::printf("[zipfian] hit-rate loss vs unbounded: %.4f\n", zipf_loss);
+  Check(zipf_loss < 0.10, "zipfian hit-rate loss under 10 points");
+
+  // ---- End-to-end: budgeted vs unbounded OnlineInference. ----
+  auto experiment = bench::BuildStandardExperiment();
+  const core::KbqaSystem& kbqa = experiment->kbqa();
+  core::OnlineInference::Options unbounded_opts = kbqa.options().online;
+  unbounded_opts.value_cache_budget_bytes = 0;
+  core::OnlineInference::Options budgeted_opts = unbounded_opts;
+  budgeted_opts.value_cache_budget_bytes = 256 * 1024;
+  core::OnlineInference engine_unbounded(
+      &experiment->world().kb, &experiment->world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), unbounded_opts);
+  core::OnlineInference engine_budgeted(
+      &experiment->world().kb, &experiment->world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), budgeted_opts);
+
+  corpus::BenchmarkSet set = experiment->MakeQald1();
+  size_t mismatches = 0, answered = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const corpus::QaPair& pair : set.questions.pairs) {
+      core::AnswerResult a = engine_budgeted.Answer(pair.question);
+      core::AnswerResult b = engine_unbounded.Answer(pair.question);
+      answered += a.answered;
+      if (a.value != b.value || a.answered != b.answered ||
+          a.score != b.score) {
+        ++mismatches;
+      }
+    }
+  }
+  const core::ValueCacheStats capped = engine_budgeted.value_cache_stats();
+  const core::ValueCacheStats full = engine_unbounded.value_cache_stats();
+  std::printf(
+      "[end-to-end] 3 passes x %zu questions: %zu answered, %zu mismatches; "
+      "budgeted cache %" PRIu64 "/%" PRIu64 " bytes, %" PRIu64
+      " evictions, hit rate %.3f (unbounded %.3f)\n",
+      set.questions.pairs.size(), answered, mismatches, capped.bytes,
+      capped.budget_bytes, capped.evictions,
+      static_cast<double>(capped.hits) /
+          static_cast<double>(capped.hits + capped.misses),
+      static_cast<double>(full.hits) /
+          static_cast<double>(full.hits + full.misses));
+  Check(mismatches == 0, "budgeted engine answers identical to unbounded");
+  Check(capped.bytes <= capped.budget_bytes, "engine cache within budget");
+
+  // ---- JSON ----
+  std::FILE* out = std::fopen("BENCH_cache.json", "w");
+  Check(out != nullptr, "open BENCH_cache.json");
+  std::fprintf(out, "{\n  \"budget_bytes\": %" PRIu64 ",\n", kBudgetBytes);
+  EmitJson(out, "zipfian", zipf_bounded, zipf_unbounded, ",");
+  EmitJson(out, "uniform", uni_bounded, uni_unbounded, ",");
+  std::fprintf(out,
+               "  \"end_to_end\": {\"questions\": %zu, \"passes\": 3, "
+               "\"mismatches\": %zu, \"budget_bytes\": %" PRIu64
+               ", \"accounted_bytes\": %" PRIu64 ", \"evictions\": %" PRIu64
+               ", \"budgeted_hit_rate\": %.4f, \"unbounded_hit_rate\": %.4f}\n"
+               "}\n",
+               set.questions.pairs.size(), mismatches, capped.budget_bytes,
+               capped.bytes, capped.evictions,
+               static_cast<double>(capped.hits) /
+                   static_cast<double>(capped.hits + capped.misses),
+               static_cast<double>(full.hits) /
+                   static_cast<double>(full.hits + full.misses));
+  std::fclose(out);
+  std::printf("[done] wrote BENCH_cache.json\n");
+  return 0;
+}

@@ -116,6 +116,12 @@ AnswerResult KbqaSystem::Answer(const std::string& question) const {
   return online_->Answer(question);
 }
 
+AnswerResult KbqaSystem::Answer(const std::string& question,
+                                const AnswerOptions& answer_options) const {
+  if (online_ == nullptr) return AnswerResult{};
+  return online_->Answer(question, answer_options);
+}
+
 std::vector<AnswerResult> KbqaSystem::AnswerAll(
     const std::vector<std::string>& questions, int num_threads) const {
   if (online_ == nullptr) return std::vector<AnswerResult>(questions.size());

@@ -77,6 +77,12 @@ class KbqaSystem : public QaSystemInterface {
   /// Answers a binary factoid question (no decomposition).
   AnswerResult Answer(const std::string& question) const override;
 
+  /// As Answer, with per-request controls — e.g. a deadline after which
+  /// the pipeline degrades to a partial/empty answer carrying a
+  /// kDeadlineExceeded status instead of stalling a serving thread.
+  AnswerResult Answer(const std::string& question,
+                      const AnswerOptions& answer_options) const;
+
   /// Batched throughput serving: answers every question over `num_threads`
   /// workers (see OnlineInference::AnswerAll). results[i] is identical to
   /// Answer(questions[i]) for any thread count.

@@ -1,7 +1,7 @@
 #include "core/online.h"
 
 #include <algorithm>
-#include <mutex>
+#include <chrono>
 #include <unordered_map>
 
 #include "core/em_learner.h"
@@ -16,6 +16,30 @@ namespace {
 
 uint64_t CacheKey(rdf::TermId entity, rdf::PathId path) {
   return (static_cast<uint64_t>(entity) << 32) | path;
+}
+
+/// Stateful deadline check for one answer: at most one clock read per
+/// probe, none at all when no deadline was requested, and sticky once
+/// exceeded (the pipeline never un-exceeds mid-request).
+struct DeadlineGate {
+  const std::optional<std::chrono::steady_clock::time_point>& deadline;
+  bool exceeded = false;
+
+  bool Hit() {
+    if (exceeded) return true;
+    if (!deadline) return false;
+    if (std::chrono::steady_clock::now() >= *deadline) exceeded = true;
+    return exceeded;
+  }
+};
+
+/// Stamps a deadline overrun on the result (idempotent) and drops a
+/// zero-length sampled span so collected traces show exactly where the
+/// request gave up.
+void MarkDeadlineExceeded(AnswerResult* result) {
+  if (!result->status.ok()) return;
+  KBQA_TRACE_SPAN_SAMPLED("answer.deadline_exceeded");
+  result->status = Status::DeadlineExceeded("answer deadline exceeded");
 }
 
 /// The shared mention → entity → category → template walk of §3.3's
@@ -72,6 +96,8 @@ struct OnlineCounters {
   obs::Counter* answered;
   obs::Counter* cache_hits;
   obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* deadline_exceeded;
 
   static const OnlineCounters& Get() {
     static const OnlineCounters counters = [] {
@@ -79,7 +105,9 @@ struct OnlineCounters {
       return OnlineCounters{r.GetCounter("online.answers"),
                             r.GetCounter("online.answered"),
                             r.GetCounter("online.value_cache.hits"),
-                            r.GetCounter("online.value_cache.misses")};
+                            r.GetCounter("online.value_cache.misses"),
+                            r.GetCounter("online.value_cache.evictions"),
+                            r.GetCounter("online.deadline_exceeded")};
     }();
     return counters;
   }
@@ -98,7 +126,8 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
       ner_(ner),
       store_(store),
       paths_(paths),
-      options_(options) {}
+      options_(options),
+      value_cache_(options.value_cache_budget_bytes) {}
 
 const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
@@ -109,25 +138,18 @@ const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     return *scratch;
   }
   const uint64_t key = CacheKey(entity, path);
-  {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
-    auto it = value_cache_.find(key);
-    // Mapped references are stable: the map is append-only and
-    // node-based, so concurrent inserts never invalidate them.
-    if (it != value_cache_.end()) {
-      ++tally->hits;
-      return it->second;
-    }
+  if (value_cache_.Get(key, scratch)) {
+    ++tally->hits;
+    return *scratch;
   }
   ++tally->misses;
-  std::vector<rdf::TermId> values =
-      rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
-  // try_emplace keeps the first writer's entry if another thread raced the
-  // same key (both computed identical values from the immutable KB).
-  auto [it, inserted] = value_cache_.try_emplace(key, std::move(values));
-  if (inserted) cache_bytes_.Add(it->second.size() * sizeof(rdf::TermId));
-  return it->second;
+  *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+  // Insert copies the value set; concurrent misses on the same key both
+  // computed identical vectors from the immutable KB, and the cache keeps
+  // whichever landed first.
+  tally->evictions += value_cache_.Insert(
+      key, *scratch, scratch->size() * sizeof(rdf::TermId));
+  return *scratch;
 }
 
 void OnlineInference::FlushAnswerStats(const AnswerResult* result,
@@ -140,23 +162,35 @@ void OnlineInference::FlushAnswerStats(const AnswerResult* result,
   const OnlineCounters& c = OnlineCounters::Get();
   if (tally.hits != 0) c.cache_hits->Add(tally.hits);
   if (tally.misses != 0) c.cache_misses->Add(tally.misses);
+  if (tally.evictions != 0) c.cache_evictions->Add(tally.evictions);
   if (result == nullptr) return;  // IsPrimitiveBfq probe
   c.answers->Add(1);
   if (result->answered) c.answered->Add(1);
+  if (result->status.code() == StatusCode::kDeadlineExceeded) {
+    c.deadline_exceeded->Add(1);
+  }
 }
 
 ValueCacheStats OnlineInference::value_cache_stats() const {
   ValueCacheStats stats;
+  if (!options_.enable_value_cache) return stats;
   stats.hits = cache_hits_.Value();
   stats.misses = cache_misses_.Value();
-  stats.bytes = cache_bytes_.Value();
-  std::shared_lock<std::shared_mutex> lock(cache_mu_);
-  stats.entries = value_cache_.size();
+  const auto cache = value_cache_.GetStats();
+  stats.entries = cache.entries;
+  stats.bytes = cache.bytes;
+  stats.evictions = cache.evictions;
+  stats.budget_bytes = value_cache_.budget_bytes();
   return stats;
 }
 
 AnswerResult OnlineInference::Answer(const std::string& question) const {
   return AnswerTokens(nlp::TokenizeQuestion(question));
+}
+
+AnswerResult OnlineInference::Answer(
+    const std::string& question, const AnswerOptions& answer_options) const {
+  return AnswerTokens(nlp::TokenizeQuestion(question), answer_options);
 }
 
 std::vector<AnswerResult> OnlineInference::AnswerAll(
@@ -180,6 +214,12 @@ std::vector<AnswerResult> OnlineInference::AnswerAll(
 
 AnswerResult OnlineInference::AnswerTokens(
     const std::vector<std::string>& tokens) const {
+  return AnswerTokens(tokens, AnswerOptions{});
+}
+
+AnswerResult OnlineInference::AnswerTokens(
+    const std::vector<std::string>& tokens,
+    const AnswerOptions& answer_options) const {
   // All answer spans — including the whole-answer one — record only inside
   // the 1-in-2^k detail windows opened here, keeping the steady-state cost
   // to a few thread-local reads per question. The latency histograms are
@@ -187,14 +227,20 @@ AnswerResult OnlineInference::AnswerTokens(
   KBQA_TRACE_DETAIL_WINDOW();
   KBQA_TRACE_SPAN_SAMPLED("answer");
   CacheTally tally;
-  AnswerResult result = AnswerTokensImpl(tokens, &tally);
+  AnswerResult result = AnswerTokensImpl(tokens, answer_options, &tally);
   FlushAnswerStats(&result, tally);
   return result;
 }
 
 AnswerResult OnlineInference::AnswerTokensImpl(
-    const std::vector<std::string>& tokens, CacheTally* tally) const {
+    const std::vector<std::string>& tokens,
+    const AnswerOptions& answer_options, CacheTally* tally) const {
   AnswerResult result;
+  DeadlineGate gate{answer_options.deadline};
+  if (gate.Hit()) {  // Already past due on entry: answer nothing.
+    MarkDeadlineExceeded(&result);
+    return result;
+  }
   std::vector<nlp::Mention> mentions;
   {
     KBQA_TRACE_SPAN_SAMPLED("answer.ner");
@@ -224,10 +270,12 @@ AnswerResult OnlineInference::AnswerTokensImpl(
         *taxonomy_, *store_, options_, tokens, mentions,
         [&](const nlp::Mention&, rdf::TermId entity, double p_t,
             TemplateId t) {
+          if (gate.Hit()) return false;
           ++result.num_templates;
           KBQA_TRACE_SPAN_SAMPLED("answer.score");
           for (const PredicateProb& pp : store_->Distribution(t)) {
             if (pp.probability < options_.min_predicate_prob) continue;
+            if (gate.Hit()) return false;
             ++result.num_predicates;
             const std::vector<rdf::TermId>& values =
                 CachedObjects(entity, pp.path, &scratch, tally);
@@ -250,6 +298,10 @@ AnswerResult OnlineInference::AnswerTokensImpl(
           return true;
         });
   }
+  // A deadline hit stops candidate enumeration but still ranks whatever
+  // the posterior accumulated: the caller gets the best partial answer
+  // (or an empty one), flagged by `status`, instead of a stalled thread.
+  if (gate.exceeded) MarkDeadlineExceeded(&result);
 
   if (posterior.empty()) return result;
 

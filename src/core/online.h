@@ -1,10 +1,10 @@
 #ifndef KBQA_CORE_ONLINE_H_
 #define KBQA_CORE_ONLINE_H_
 
+#include <chrono>
 #include <cstdint>
-#include <shared_mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/template_store.h"
@@ -13,19 +13,35 @@
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
 #include "taxonomy/taxonomy.h"
+#include "util/lru_cache.h"
+#include "util/status.h"
 
 namespace kbqa::core {
 
 /// Accounting for the per-instance V(e, p+) memo cache. `hits`/`misses`
 /// count CachedObjects lookups with the cache enabled; `entries` is the
-/// number of memoized (entity, path) pairs and `bytes` the approximate
-/// payload size of their value vectors. With the cache disabled every
-/// field stays zero.
+/// number of currently resident (entity, path) pairs, `bytes` their summed
+/// byte charges (key + value-vector payload), `evictions` the entries
+/// dropped so far to stay under `budget_bytes` (0 = unbounded, never
+/// evicts). With the cache disabled every field stays zero.
 struct ValueCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t entries = 0;
   uint64_t bytes = 0;
+  uint64_t evictions = 0;
+  uint64_t budget_bytes = 0;
+};
+
+/// Per-request controls for one Answer call. Default-constructed options
+/// reproduce the unconstrained behavior exactly.
+struct AnswerOptions {
+  /// When set, the answer pipeline checks the deadline at stage boundaries
+  /// (after NER, per template candidate, per predicate lookup) and stops
+  /// enumerating once it has passed: the question degrades to a partial or
+  /// empty answer whose `status` is kDeadlineExceeded instead of stalling
+  /// a serving thread. Unset means no latency bound (no clock reads).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// One scored value in the online posterior.
@@ -42,6 +58,10 @@ struct AnswerCandidate {
 struct AnswerResult {
   /// True when a predicate was found — the paper's #pro counts these.
   bool answered = false;
+  /// Ok, or kDeadlineExceeded when AnswerOptions::deadline cut candidate
+  /// enumeration short (the ranked posterior then covers only the
+  /// candidates scored before the deadline — possibly none).
+  Status status;
   /// Surface string of the winning value.
   std::string value;
   double score = 0;
@@ -77,10 +97,10 @@ struct AnswerResult {
 /// fan-outs are bounded constants; only the predicate enumeration scales.
 ///
 /// Thread safety: all answering methods are const and safe to call
-/// concurrently. The only mutable state is the V(e, p+) value cache, which
-/// is per-instance, guarded by a shared_mutex, and append-only — valid
-/// forever because the knowledge base is immutable after load (see
-/// DESIGN.md "Threading model & determinism").
+/// concurrently. The only mutable state is the V(e, p+) value cache, a
+/// per-instance memory-budgeted sharded LRU (see util/lru_cache.h) —
+/// lookups copy values out under a per-shard mutex, so evictions never
+/// invalidate anything a caller holds.
 class OnlineInference {
  public:
   struct Options {
@@ -94,6 +114,11 @@ class OnlineInference {
     /// are identical either way (the KB is immutable); disabling exists
     /// for regression tests and cache-benefit measurements.
     bool enable_value_cache = true;
+    /// Upper bound on the value cache's byte accounting (key + payload per
+    /// entry). 0 = unbounded (the pre-budget behavior, for benchmarks and
+    /// short-lived processes); any other value keeps a long-running
+    /// serving process's cache footprint bounded via LRU eviction.
+    uint64_t value_cache_budget_bytes = 0;
   };
 
   /// All references must outlive the inference engine.
@@ -104,9 +129,13 @@ class OnlineInference {
 
   /// Answers a binary factoid question.
   AnswerResult Answer(const std::string& question) const;
+  AnswerResult Answer(const std::string& question,
+                      const AnswerOptions& answer_options) const;
 
   /// Token-level variant (reused by the decomposer on question spans).
   AnswerResult AnswerTokens(const std::vector<std::string>& tokens) const;
+  AnswerResult AnswerTokens(const std::vector<std::string>& tokens,
+                            const AnswerOptions& answer_options) const;
 
   /// Batched throughput entry point: answers every question, sharded over
   /// `num_threads` workers. results[i] corresponds to questions[i] and is
@@ -121,9 +150,10 @@ class OnlineInference {
   bool IsPrimitiveBfq(const std::vector<std::string>& tokens) const;
 
   /// Hit/miss/size accounting for the value memo cache. The counters are
-  /// per-instance (sharded relaxed atomics, not the global registry) so
-  /// two engines — e.g. a cached and an uncached one in a regression test
-  /// — never contaminate each other's numbers.
+  /// per-instance (sharded relaxed atomics plus the cache's own shard
+  /// books, not the global registry) so two engines — e.g. a cached and an
+  /// uncached one in a regression test — never contaminate each other's
+  /// numbers.
   ValueCacheStats value_cache_stats() const;
 
  private:
@@ -133,18 +163,21 @@ class OnlineInference {
   struct CacheTally {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
-  /// V(e, p+) through the memo cache. On a miss (or with the cache
-  /// disabled) the path walk lands in `*scratch` and the returned reference
-  /// points there; on a hit the reference points into the cache (stable:
-  /// the map is append-only and node-based). The reference is valid until
-  /// the next call with the same `scratch`.
+  /// V(e, p+) through the memo cache. The result always lands in
+  /// `*scratch` — copied out of the cache on a hit, computed by the path
+  /// walk on a miss (then inserted, evicting LRU entries if over budget) —
+  /// and the returned reference points there, valid until the next call
+  /// with the same `scratch`. Copy-out is what makes eviction safe: no
+  /// caller ever holds a reference into the cache.
   const std::vector<rdf::TermId>& CachedObjects(
       rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
       CacheTally* tally) const;
 
   AnswerResult AnswerTokensImpl(const std::vector<std::string>& tokens,
+                                const AnswerOptions& answer_options,
                                 CacheTally* tally) const;
 
   /// Folds one request's tally into the per-instance cache stats and, when
@@ -160,12 +193,10 @@ class OnlineInference {
   const rdf::PathDictionary* paths_;
   Options options_;
 
-  mutable std::shared_mutex cache_mu_;
   /// Key: entity in the high 32 bits, path in the low 32.
-  mutable std::unordered_map<uint64_t, std::vector<rdf::TermId>> value_cache_;
+  mutable ShardedLruCache<uint64_t, std::vector<rdf::TermId>> value_cache_;
   mutable obs::ShardedCounter cache_hits_;
   mutable obs::ShardedCounter cache_misses_;
-  mutable obs::ShardedCounter cache_bytes_;
 };
 
 }  // namespace kbqa::core

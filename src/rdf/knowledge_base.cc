@@ -470,19 +470,29 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
     if (!r.ok() || num_edges > kMaxCount) return false;
     offsets->assign(num_nodes + 1, 0);
     r.ReadBytes(offsets->data(), offsets->size() * sizeof(uint64_t));
+    if (!r.ok()) return false;
+    // Gate the offsets against the edge-count header *before* sizing the
+    // edge buffer from it: a corrupt or truncated file must fail here with
+    // Corruption, not allocate and bulk-read a garbage-sized block.
+    if ((*offsets)[0] != 0 || (*offsets)[num_nodes] != num_edges) {
+      return false;
+    }
+    for (size_t node = 0; node < num_nodes; ++node) {
+      if ((*offsets)[node] > (*offsets)[node + 1]) return false;
+    }
     edges->resize(num_edges);
     r.ReadBytes(edges->data(), num_edges * sizeof(PredicateObject));
     return r.ok();
   };
   if (!read_csr(&kb.out_offsets_, &kb.out_edges_)) {
-    return fail("short read (out CSR)");
+    return fail("bad out CSR block");
   }
   if (!ValidCsr(kb.out_offsets_, kb.out_edges_, kb.is_literal_,
                 kb.predicates_.size(), /*anchor_is_subject=*/true)) {
     return fail("invalid out CSR");
   }
   if (!read_csr(&kb.in_offsets_, &kb.in_edges_)) {
-    return fail("short read (in CSR)");
+    return fail("bad in CSR block");
   }
   if (!ValidCsr(kb.in_offsets_, kb.in_edges_, kb.is_literal_,
                 kb.predicates_.size(), /*anchor_is_subject=*/false)) {

@@ -28,6 +28,9 @@ std::string EscapeLiteral(const std::string& text) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
       case '\t':
         out += "\\t";
         break;
@@ -36,6 +39,52 @@ std::string EscapeLiteral(const std::string& text) {
     }
   }
   return out;
+}
+
+/// Parses `digits` hex characters of `line` starting at `*pos`; advances
+/// `*pos` past them. Returns nullopt on a short or non-hex sequence.
+std::optional<uint32_t> ReadHexDigits(const std::string& line, size_t* pos,
+                                      int digits) {
+  uint32_t value = 0;
+  for (int d = 0; d < digits; ++d) {
+    if (*pos >= line.size()) return std::nullopt;
+    const char c = line[*pos];
+    uint32_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | nibble;
+    ++*pos;
+  }
+  return value;
+}
+
+/// Appends the UTF-8 encoding of `cp`. False for surrogate code points and
+/// anything beyond U+10FFFF (not Unicode scalar values).
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if ((cp >= 0xD800 && cp <= 0xDFFF) || cp > 0x10FFFF) return false;
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+  return true;
 }
 
 /// Reads an angle-bracketed term starting at `pos`; advances `pos` past it.
@@ -68,6 +117,9 @@ Result<std::string> ReadLiteral(const std::string& line, size_t* pos) {
         case 'n':
           out += '\n';
           break;
+        case 'r':
+          out += '\r';
+          break;
         case 't':
           out += '\t';
           break;
@@ -77,6 +129,19 @@ Result<std::string> ReadLiteral(const std::string& line, size_t* pos) {
         case '\\':
           out += '\\';
           break;
+        case 'u':
+        case 'U': {
+          // \uXXXX / \UXXXXXXXX numeric escapes (N-Triples spec UCHAR),
+          // decoded to UTF-8 bytes.
+          size_t hex_pos = i + 1;
+          auto cp = ReadHexDigits(line, &hex_pos, next == 'u' ? 4 : 8);
+          if (!cp || !AppendUtf8(*cp, &out)) {
+            return Status::InvalidArgument(
+                std::string("bad numeric escape \\") + next);
+          }
+          i = hex_pos - 1;  // The loop increment steps past the last digit.
+          break;
+        }
         default:
           return Status::InvalidArgument(std::string("bad escape \\") + next);
       }

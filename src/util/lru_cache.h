@@ -1,0 +1,153 @@
+#ifndef KBQA_UTIL_LRU_CACHE_H_
+#define KBQA_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kbqa {
+
+/// Memory-budgeted, sharded LRU cache.
+///
+/// The key space is hash-partitioned over N independent shards (N rounded
+/// up to a power of two), each guarded by its own mutex and holding its own
+/// recency list, so concurrent lookups on different shards never contend.
+/// Every entry is byte-accounted as `sizeof(Key) + payload_bytes` (the
+/// caller states the payload size at insert time); a shard evicts from its
+/// LRU tail until it is back under its slice of the budget, so the summed
+/// accounting across shards never exceeds `budget_bytes`. A budget of 0
+/// means unbounded: nothing is ever evicted and the cache degenerates to a
+/// sharded memo table.
+///
+/// Lookups are copy-out: `Get` copies the stored value into the caller's
+/// buffer under the shard lock. Returning references would pin entries
+/// against eviction (or dangle after one); copying keeps the locking
+/// trivial and the eviction policy exact. Values are expected to be small
+/// (e.g. the per-(entity, path) value vectors of the online engine).
+///
+/// Thread safety: all methods are safe to call concurrently.
+template <typename Key, typename Value>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    uint64_t entries = 0;
+    uint64_t bytes = 0;      // summed entry charges currently resident
+    uint64_t evictions = 0;  // entries dropped to make room since creation
+  };
+
+  /// `budget_bytes == 0` means unbounded. `num_shards` is rounded up to a
+  /// power of two (minimum 1).
+  explicit ShardedLruCache(uint64_t budget_bytes, size_t num_shards = 16)
+      : budget_bytes_(budget_bytes) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shards_ = std::vector<Shard>(shards);
+    shard_budget_ = budget_bytes == 0 ? 0 : budget_bytes / shards;
+  }
+
+  /// Copies the value for `key` into `*out` and promotes the entry to
+  /// most-recently-used. Returns false (leaving `*out` untouched) when the
+  /// key is absent.
+  bool Get(const Key& key, Value* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->value;
+    return true;
+  }
+
+  /// Inserts `value` under `key`, charging `sizeof(Key) + payload_bytes`
+  /// against the budget and evicting least-recently-used entries of the
+  /// shard as needed; returns how many entries were evicted. If the key is
+  /// already present the existing entry is kept (two racing computations
+  /// of the same key produce equal values) and only promoted. An entry
+  /// whose charge alone exceeds the shard budget is not cached at all —
+  /// admitting it would purge the whole shard for a value too big to keep.
+  uint64_t Insert(const Key& key, Value value, uint64_t payload_bytes) {
+    const uint64_t charge = sizeof(Key) + payload_bytes;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    uint64_t evicted = 0;
+    if (shard_budget_ != 0) {
+      if (charge > shard_budget_) return 0;
+      while (shard.bytes + charge > shard_budget_ && !shard.lru.empty()) {
+        EvictTail(&shard);
+        ++evicted;
+      }
+    }
+    shard.lru.push_front(Entry{key, std::move(value), charge});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += charge;
+    return evicted;
+  }
+
+  /// Merged accounting across shards. `entries`/`bytes` are a point-in-time
+  /// view; `evictions` is monotone.
+  Stats GetStats() const {
+    Stats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.entries += shard.index.size();
+      stats.bytes += shard.bytes;
+      stats.evictions += shard.evictions;
+    }
+    return stats;
+  }
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    uint64_t charge = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. std::list keeps iterators stable across
+    /// splice, so the index maps keys straight to list nodes.
+    std::list<Entry> lru;
+    std::unordered_map<Key, typename std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // std::hash of an integer key is commonly the identity; mix so shard
+    // selection doesn't alias with any structure in the key encoding.
+    uint64_t h = static_cast<uint64_t>(std::hash<Key>{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return shards_[h & (shards_.size() - 1)];
+  }
+
+  static void EvictTail(Shard* shard) {
+    Entry& victim = shard->lru.back();
+    shard->bytes -= victim.charge;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+  }
+
+  uint64_t budget_bytes_ = 0;
+  uint64_t shard_budget_ = 0;  // budget_bytes_ / num_shards, 0 = unbounded
+  std::vector<Shard> shards_;
+};
+
+}  // namespace kbqa
+
+#endif  // KBQA_UTIL_LRU_CACHE_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kCorruption,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable, human-readable name for a status code ("NotFound", ...).
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,7 @@
 #include "eval/report.h"
 #include "eval/runner.h"
 #include "rdf/ntriples.h"
+#include "util/rng.h"
 
 namespace kbqa {
 namespace {
@@ -57,6 +58,86 @@ TEST(NTriplesTest, FormatParseRoundTrip) {
   EXPECT_EQ(parsed.value().subject, triple.subject);
   EXPECT_EQ(parsed.value().object, triple.object);
   EXPECT_TRUE(parsed.value().object_is_literal);
+}
+
+TEST(NTriplesTest, ParseCarriageReturnAndNumericEscapes) {
+  auto parsed = rdf::ParseNTripleLine(
+      "<a> <says> \"cr\\rlf\\n u\\u0041 wide\\u00e9 astral\\U0001F600\" .");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().object,
+            "cr\rlf\n uA wide\xc3\xa9 astral\xf0\x9f\x98\x80");
+}
+
+TEST(NTriplesTest, NumericEscapeErrors) {
+  // Short hex runs, non-hex digits, surrogates, and out-of-range code
+  // points are all rejected, not silently mangled.
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"\\u12\" .").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"\\uZZZZ\" .").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"\\U0001F60\" .").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"\\uD800\" .").ok());
+  EXPECT_FALSE(rdf::ParseNTripleLine("<a> <b> \"\\U00110000\" .").ok());
+}
+
+TEST(NTriplesTest, CarriageReturnLiteralRoundTrips) {
+  // A CR inside a literal must be emitted as \r on export — a raw CR would
+  // split the line (or leak into a CRLF terminator) and break re-import.
+  rdf::NTriple triple{"a", "says", "line one\r\nline two\r", true};
+  const std::string line = rdf::FormatNTripleLine(triple);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto parsed = rdf::ParseNTripleLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().object, triple.object);
+}
+
+TEST(NTriplesTest, EscapeRoundTripProperty) {
+  // Random literals over a hostile alphabet — quotes, CR/LF/tab,
+  // backslashes, pre-encoded multi-byte UTF-8 — must survive format →
+  // parse bit-exactly.
+  const std::vector<std::string> alphabet = {
+      "a",    "Z",    " ",          "\"",         "\\",         "\n",
+      "\r",   "\t",   "\xc3\xa9",   "\xe6\xbc\xa2", "\xf0\x9f\x98\x80",
+      "\\n",  ".",    "<",          ">"};
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string object;
+    const size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      object += alphabet[rng.Uniform(alphabet.size())];
+    }
+    rdf::NTriple triple{"s", "p", object, true};
+    auto parsed = rdf::ParseNTripleLine(rdf::FormatNTripleLine(triple));
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " object: " << object;
+    EXPECT_EQ(parsed.value().object, object);
+    EXPECT_TRUE(parsed.value().object_is_literal);
+  }
+}
+
+TEST(NTriplesTest, CrlfTerminatedInputParsesWithoutLeakingCr) {
+  // Parse a single CRLF-terminated line (getline leaves the \r in place).
+  auto parsed = rdf::ParseNTripleLine("<s> <name> \"honolulu\" .\r");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().object, "honolulu");
+
+  // And a whole CRLF file: no \r may leak into IRIs or literals.
+  std::string path = ::testing::TempDir() + "/crlf.nt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# CRLF export\r\n", f);
+  std::fputs("<person/a> <name> \"barack obama\" .\r\n", f);
+  std::fputs("<person/a> <pob> <city/d> .\r\n", f);
+  std::fputs("<city/d> <name> \"honolulu\" .\r\n", f);
+  std::fclose(f);
+  auto imported = rdf::ImportNTriples(path, "name");
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  const rdf::KnowledgeBase& kb = imported.value();
+  EXPECT_EQ(kb.num_triples(), 3u);
+  ASSERT_EQ(kb.EntitiesByName("honolulu").size(), 1u);
+  for (rdf::TermId id = 0; id < kb.num_nodes(); ++id) {
+    EXPECT_EQ(kb.NodeString(id).find('\r'), std::string::npos)
+        << "CR leaked into node " << id;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(NTriplesTest, ExportImportRoundTripsAWorld) {

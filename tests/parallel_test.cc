@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -236,6 +237,82 @@ TEST_F(ParallelSystemTest, CachedInferenceMatchesUncached) {
   EXPECT_EQ(none.misses, 0u);
   EXPECT_EQ(none.entries, 0u);
   EXPECT_EQ(none.bytes, 0u);
+}
+
+TEST_F(ParallelSystemTest, BudgetedCacheMatchesUnboundedAndStaysUnderBudget) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  core::OnlineInference::Options unbounded_options = kbqa.options().online;
+  unbounded_options.enable_value_cache = true;
+  unbounded_options.value_cache_budget_bytes = 0;
+  core::OnlineInference::Options budgeted_options = unbounded_options;
+  // Small enough to force evictions on a real question stream, large
+  // enough to still admit entries (per-shard slice must fit one vector).
+  budgeted_options.value_cache_budget_bytes = 16 * 1024;
+
+  core::OnlineInference unbounded(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), unbounded_options);
+  core::OnlineInference budgeted(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), budgeted_options);
+
+  // Eviction must be semantically invisible: evicted entries are simply
+  // recomputed from the immutable KB on the next miss.
+  std::vector<std::string> questions = BenchmarkQuestions(40, 7171);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& q : questions) {
+      core::AnswerResult a = budgeted.Answer(q);
+      core::AnswerResult b = unbounded.Answer(q);
+      EXPECT_EQ(a.answered, b.answered) << q;
+      EXPECT_EQ(a.value, b.value) << q;
+      EXPECT_EQ(a.score, b.score) << q;
+      EXPECT_EQ(a.sparql, b.sparql) << q;
+      EXPECT_EQ(a.values, b.values) << q;
+      EXPECT_TRUE(a.status.ok());
+    }
+  }
+
+  const core::ValueCacheStats capped = budgeted.value_cache_stats();
+  EXPECT_EQ(capped.budget_bytes, budgeted_options.value_cache_budget_bytes);
+  EXPECT_LE(capped.bytes, capped.budget_bytes);
+  EXPECT_GT(capped.entries, 0u);
+  const core::ValueCacheStats full = unbounded.value_cache_stats();
+  EXPECT_EQ(full.budget_bytes, 0u);
+  EXPECT_EQ(full.evictions, 0u);
+  // Same stream, so the budgeted engine can only have lost hits (every
+  // eviction it suffered turns a would-be hit into a miss).
+  EXPECT_EQ(capped.hits + capped.misses, full.hits + full.misses);
+  EXPECT_GE(capped.misses, full.misses);
+}
+
+TEST_F(ParallelSystemTest, DeadlineExceededDegradesGracefully) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  std::vector<std::string> questions = BenchmarkQuestions(10, 6464);
+
+  core::AnswerOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  core::AnswerOptions generous;
+  generous.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::hours(1);
+
+  for (const std::string& q : questions) {
+    // An already-expired deadline returns immediately: empty answer,
+    // kDeadlineExceeded status, nothing enumerated.
+    core::AnswerResult late = kbqa.Answer(q, expired);
+    EXPECT_FALSE(late.answered) << q;
+    EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded) << q;
+    EXPECT_EQ(late.num_templates, 0u) << q;
+
+    // A generous deadline is semantically invisible.
+    core::AnswerResult bounded = kbqa.Answer(q, generous);
+    core::AnswerResult reference = kbqa.Answer(q);
+    EXPECT_TRUE(bounded.status.ok()) << q;
+    EXPECT_EQ(bounded.answered, reference.answered) << q;
+    EXPECT_EQ(bounded.value, reference.value) << q;
+    EXPECT_EQ(bounded.score, reference.score) << q;
+    EXPECT_EQ(bounded.values, reference.values) << q;
+  }
 }
 
 TEST_F(ParallelSystemTest, BatchedRunnerMatchesSequentialRunner) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -219,6 +221,79 @@ TEST_F(ToyKbTest, LoadRejectsVersion1SnapshotCleanly) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
   EXPECT_NE(loaded.status().message().find("version 1"), std::string::npos)
       << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadRejectsTruncatedSnapshot) {
+  std::string path = ::testing::TempDir() + "/trunc_src.bin";
+  ASSERT_TRUE(kb_.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+
+  // A snapshot cut anywhere must come back as a clean Corruption — never a
+  // crash, hang, or garbage-sized allocation.
+  std::string cut_path = ::testing::TempDir() + "/trunc_cut.bin";
+  for (size_t keep : {bytes.size() / 4, bytes.size() / 2,
+                      bytes.size() * 9 / 10, bytes.size() - 1}) {
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    auto loaded = KnowledgeBase::Load(cut_path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << bytes.size();
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadRejectsCorruptCsrOffsets) {
+  std::string path = ::testing::TempDir() + "/corrupt_offsets.bin";
+  ASSERT_TRUE(kb_.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  // Locate the out-CSR block from the (known) v2 layout: magic, node
+  // dictionary (count + offsets + blob), is_literal bytes, predicate
+  // dictionary, name-predicate id, then edge_count + offsets + edges.
+  size_t node_blob = 0, pred_blob = 0;
+  for (TermId id = 0; id < kb_.num_nodes(); ++id) {
+    node_blob += kb_.NodeString(id).size();
+  }
+  for (PredId p = 0; p < kb_.num_predicates(); ++p) {
+    pred_blob += kb_.PredicateString(p).size();
+  }
+  const size_t out_csr = 8 + (8 + (kb_.num_nodes() + 1) * 8 + node_blob) +
+                         kb_.num_nodes() +
+                         (8 + (kb_.num_predicates() + 1) * 8 + pred_blob) + 4;
+  const size_t offsets_begin = out_csr + 8;  // past edge_count
+  ASSERT_LT(offsets_begin + (kb_.num_nodes() + 1) * 8, bytes.size());
+
+  auto corrupt_u64_at = [&](size_t pos, uint64_t value) {
+    std::string mutated = bytes;
+    std::memcpy(mutated.data() + pos, &value, sizeof(value));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    return KnowledgeBase::Load(path);
+  };
+
+  // offsets[1] jumps past everything: non-monotone and inconsistent with
+  // the edge-count header. Must fail *before* any edge-buffer allocation.
+  auto non_monotone = corrupt_u64_at(offsets_begin + 8, ~uint64_t{0} / 2);
+  ASSERT_FALSE(non_monotone.ok());
+  EXPECT_EQ(non_monotone.status().code(), StatusCode::kCorruption);
+
+  // offsets[num_nodes] disagrees with edge_count while staying monotone.
+  auto tail_mismatch = corrupt_u64_at(
+      offsets_begin + kb_.num_nodes() * 8, kb_.num_triples() + 100);
+  ASSERT_FALSE(tail_mismatch.ok());
+  EXPECT_EQ(tail_mismatch.status().code(), StatusCode::kCorruption);
+
   std::remove(path.c_str());
 }
 
