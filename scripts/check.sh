@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: plain build + full test suite, then the same under
-# ASan+UBSan in a separate tree. Run from the repo root:
+# Tier-1 verification. Run from the repo root:
 #
-#   scripts/check.sh          # both configurations
-#   scripts/check.sh fast     # plain build + tests only
+#   scripts/check.sh          # lint + plain build/tests + ASan+UBSan tree
+#   scripts/check.sh fast     # lint + plain build/tests only
+#   scripts/check.sh --lint   # project lint only (scripts/lint.py)
+#   scripts/check.sh --tsan   # ThreadSanitizer tree only (build + tests,
+#                             # suppressions from tsan.supp — kept empty;
+#                             # see the policy note at its top)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -11,21 +14,58 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "== plain build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-echo "== plain tests =="
-ctest --test-dir build --output-on-failure -j "$JOBS"
+run_lint() {
+  echo "== project lint =="
+  python3 scripts/lint.py
+}
 
-if [[ "${1:-}" == "fast" ]]; then
-  echo "== OK (fast: ASan/UBSan skipped) =="
-  exit 0
-fi
+run_plain() {
+  echo "== plain build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "== plain tests =="
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
 
-echo "== ASan+UBSan build =="
-cmake -B build-asan -S . -DASAN=ON >/dev/null
-cmake --build build-asan -j "$JOBS"
-echo "== ASan+UBSan tests =="
-ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+run_asan() {
+  echo "== ASan+UBSan build =="
+  cmake -B build-asan -S . -DASAN=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  echo "== ASan+UBSan tests =="
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
 
-echo "== OK =="
+run_tsan() {
+  echo "== TSan build =="
+  cmake -B build-tsan -S . -DTSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  echo "== TSan tests =="
+  TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+}
+
+case "${1:-}" in
+  --lint)
+    run_lint
+    echo "== OK (lint) =="
+    ;;
+  --tsan)
+    run_tsan
+    echo "== OK (tsan) =="
+    ;;
+  fast)
+    run_lint
+    run_plain
+    echo "== OK (fast: ASan/UBSan skipped) =="
+    ;;
+  "")
+    run_lint
+    run_plain
+    run_asan
+    echo "== OK =="
+    ;;
+  *)
+    echo "usage: scripts/check.sh [fast|--lint|--tsan]" >&2
+    exit 2
+    ;;
+esac

@@ -69,7 +69,7 @@ class EmLearner {
 
   /// Trains P(p|t) over `corpus`, filling `store` (templates + learned
   /// distributions) and `stats`.
-  Status Train(const corpus::QaCorpus& corpus, TemplateStore* store,
+  [[nodiscard]] Status Train(const corpus::QaCorpus& corpus, TemplateStore* store,
                EmStats* stats) const;
 
  private:

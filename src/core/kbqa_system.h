@@ -62,15 +62,15 @@ class KbqaSystem : public QaSystemInterface {
                       const KbqaOptions& options = KbqaOptions());
 
   /// Runs the offline procedure over the QA corpus.
-  Status Train(const corpus::QaCorpus& corpus);
+  [[nodiscard]] Status Train(const corpus::QaCorpus& corpus);
   bool trained() const { return online_ != nullptr; }
 
   /// Persists the trained model (templates + P(p|t)); requires trained().
-  Status SaveModel(const std::string& path) const;
+  [[nodiscard]] Status SaveModel(const std::string& path) const;
   /// Restores a previously saved model, enabling BFQ answering without
   /// retraining. Complex-question support (decomposition) still requires
   /// Train, which rebuilds the corpus pattern index.
-  Status LoadModel(const std::string& path);
+  [[nodiscard]] Status LoadModel(const std::string& path);
 
   // ---- QaSystemInterface ----
   std::string name() const override { return "KBQA"; }

@@ -22,13 +22,13 @@ struct LoadedModel {
 /// model can be loaded against any knowledge base that defines the same
 /// predicates — the offline procedure runs once (§7.4) and its artifact is
 /// reusable across processes.
-Status SaveModel(const TemplateStore& store, const rdf::PathDictionary& paths,
+[[nodiscard]] Status SaveModel(const TemplateStore& store, const rdf::PathDictionary& paths,
                  const rdf::KnowledgeBase& kb, const std::string& path);
 
 /// Loads a model written by SaveModel. Distribution entries whose predicate
 /// names are absent from `kb` are dropped (and the distribution
 /// renormalized) rather than failing — the usual KB-evolution semantics.
-Result<LoadedModel> LoadModel(const rdf::KnowledgeBase& kb,
+[[nodiscard]] Result<LoadedModel> LoadModel(const rdf::KnowledgeBase& kb,
                               const std::string& path);
 
 }  // namespace kbqa::core

@@ -113,6 +113,22 @@ struct OnlineCounters {
   }
 };
 
+/// Byte charge of one answer-cache entry beyond the key struct itself:
+/// the question text plus every heap block the memoized AnswerResult owns.
+/// An estimate (allocator slack and map overhead aren't modeled), but a
+/// faithful enough one for LRU budget accounting — the same contract as
+/// the value cache's `values.size() * sizeof(TermId)` charge.
+uint64_t AnswerResultPayloadBytes(const std::string& question,
+                                  const AnswerResult& result) {
+  uint64_t bytes = question.size() + sizeof(AnswerResult);
+  bytes += result.status.message().size();
+  bytes += result.value.size() + result.predicate.size() +
+           result.sparql.size();
+  bytes += result.ranked.size() * sizeof(AnswerCandidate);
+  for (const std::string& v : result.values) bytes += v.size();
+  return bytes;
+}
+
 }  // namespace
 
 OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
@@ -127,7 +143,8 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
       store_(store),
       paths_(paths),
       options_(options),
-      value_cache_(options.value_cache_budget_bytes) {}
+      value_cache_(options.value_cache_budget_bytes),
+      answer_cache_(options.answer_cache_budget_bytes) {}
 
 const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
@@ -184,6 +201,19 @@ ValueCacheStats OnlineInference::value_cache_stats() const {
   return stats;
 }
 
+ValueCacheStats OnlineInference::answer_cache_stats() const {
+  ValueCacheStats stats;
+  if (!options_.enable_answer_cache) return stats;
+  stats.hits = answer_cache_hits_.Value();
+  stats.misses = answer_cache_misses_.Value();
+  const auto cache = answer_cache_.GetStats();
+  stats.entries = cache.entries;
+  stats.bytes = cache.bytes;
+  stats.evictions = cache.evictions;
+  stats.budget_bytes = answer_cache_.budget_bytes();
+  return stats;
+}
+
 AnswerResult OnlineInference::Answer(const std::string& question) const {
   return AnswerTokens(nlp::TokenizeQuestion(question));
 }
@@ -205,8 +235,33 @@ std::vector<AnswerResult> OnlineInference::AnswerAll(
   ParallelFor(pool, questions.size(), num_shards,
               [&](size_t shard, size_t begin, size_t end) {
                 (void)shard;
+                // Per-shard tally, flushed once after the shard — the same
+                // exact-counters-cheaply pattern as the value cache.
+                uint64_t hits = 0, misses = 0, evictions = 0;
                 for (size_t i = begin; i < end; ++i) {
+                  if (options_.enable_answer_cache &&
+                      answer_cache_.Get(questions[i], &results[i])) {
+                    ++hits;
+                    continue;
+                  }
                   results[i] = Answer(questions[i]);
+                  if (options_.enable_answer_cache) {
+                    ++misses;
+                    // Memoized results are complete by construction: plain
+                    // Answer takes no deadline, so no partial
+                    // kDeadlineExceeded result can be cached.
+                    evictions += answer_cache_.Insert(
+                        questions[i], results[i],
+                        AnswerResultPayloadBytes(questions[i], results[i]));
+                  }
+                }
+                if (!options_.enable_answer_cache) return;
+                if (hits != 0) answer_cache_hits_.Add(hits);
+                if (misses != 0) answer_cache_misses_.Add(misses);
+                if (obs::Enabled()) {
+                  KBQA_COUNTER_ADD("online.answer_cache.hits", hits);
+                  KBQA_COUNTER_ADD("online.answer_cache.misses", misses);
+                  KBQA_COUNTER_ADD("online.answer_cache.evictions", evictions);
                 }
               });
   return results;

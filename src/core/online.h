@@ -119,6 +119,15 @@ class OnlineInference {
     /// short-lived processes); any other value keeps a long-running
     /// serving process's cache footprint bounded via LRU eviction.
     uint64_t value_cache_budget_bytes = 0;
+    /// Memoize whole-question AnswerResults across AnswerAll batches:
+    /// repeat questions (head-heavy serving traffic) skip the pipeline
+    /// entirely. Off by default — single-shot Answer callers and benchmarks
+    /// measuring the pipeline want every question computed.
+    bool enable_answer_cache = false;
+    /// Byte budget for the answer memo cache (question + result payload per
+    /// entry), same semantics as value_cache_budget_bytes: 0 = unbounded,
+    /// anything else bounds the footprint via per-shard LRU eviction.
+    uint64_t answer_cache_budget_bytes = 0;
   };
 
   /// All references must outlive the inference engine.
@@ -155,6 +164,10 @@ class OnlineInference {
   /// uncached one in a regression test — never contaminate each other's
   /// numbers.
   ValueCacheStats value_cache_stats() const;
+
+  /// Same accounting for the whole-question answer memo cache used by
+  /// AnswerAll (all-zero unless Options::enable_answer_cache).
+  ValueCacheStats answer_cache_stats() const;
 
  private:
   /// Per-request cache accounting, accumulated on the stack during one
@@ -197,6 +210,13 @@ class OnlineInference {
   mutable ShardedLruCache<uint64_t, std::vector<rdf::TermId>> value_cache_;
   mutable obs::ShardedCounter cache_hits_;
   mutable obs::ShardedCounter cache_misses_;
+
+  /// Whole-question memo for AnswerAll: raw question string → full
+  /// AnswerResult. Internally synchronized (sharded LRU) like the value
+  /// cache; results are copied out, so eviction never invalidates callers.
+  mutable ShardedLruCache<std::string, AnswerResult> answer_cache_;
+  mutable obs::ShardedCounter answer_cache_hits_;
+  mutable obs::ShardedCounter answer_cache_misses_;
 };
 
 }  // namespace kbqa::core

@@ -17,11 +17,11 @@ namespace kbqa::corpus {
 /// (a real corpus has none).
 
 /// Writes `corpus` (questions and answers only) as TSV.
-Status ExportQaTsv(const QaCorpus& corpus, const std::string& path);
+[[nodiscard]] Status ExportQaTsv(const QaCorpus& corpus, const std::string& path);
 
 /// Reads a TSV QA corpus. All gold annotations default to "unknown"
 /// (is_bfq = false, no value) — exactly the information a real crawl has.
-Result<QaCorpus> ImportQaTsv(const std::string& path);
+[[nodiscard]] Result<QaCorpus> ImportQaTsv(const std::string& path);
 
 /// Field escaping helpers (exposed for tests).
 std::string EscapeTsvField(const std::string& field);

@@ -25,7 +25,9 @@ ExperimentConfig ExperimentConfig::Small() {
 
 Result<std::unique_ptr<Experiment>> Experiment::Build(
     const ExperimentConfig& config) {
-  auto experiment = std::unique_ptr<Experiment>(new Experiment());
+  // make_unique cannot reach the private constructor.
+  auto experiment =
+      std::unique_ptr<Experiment>(new Experiment());  // NOLINT(kbqa-naked-new)
   experiment->config_ = config;
   experiment->world_ =
       std::make_unique<corpus::World>(corpus::GenerateWorld(config.world));

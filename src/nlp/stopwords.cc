@@ -6,8 +6,9 @@
 namespace kbqa::nlp {
 
 bool IsStopword(std::string_view token) {
+  // Leaked: tokenization may run during static teardown of callers.
   static const std::unordered_set<std::string>* const kStopwords =
-      new std::unordered_set<std::string>{
+      new std::unordered_set<std::string>{  // NOLINT(kbqa-naked-new)
           "a",     "an",    "the",  "of",    "in",   "on",    "at",   "to",
           "for",   "by",    "with", "from",  "is",   "are",   "was",  "were",
           "be",    "been",  "do",   "does",  "did",  "has",   "have", "had",

@@ -1,6 +1,7 @@
 #include "nlp/tokenizer.h"
 
 #include <cctype>
+#include <cstdint>
 
 namespace kbqa::nlp {
 
@@ -8,7 +9,96 @@ namespace {
 
 bool IsWordChar(char c) {
   unsigned char u = static_cast<unsigned char>(c);
+  // Bytes >= 0x80 are UTF-8 continuation/lead bytes: part of a multi-byte
+  // character, always word content (isalnum on them is locale-dependent
+  // and would split "josé" after the 's").
+  if (u >= 0x80) return true;
   return std::isalnum(u) != 0 || c == '\'' || c == '-';
+}
+
+/// Simple case folding for the scripts representable in the KB via
+/// N-Triples \uXXXX escapes: ASCII, Latin-1 Supplement, and Latin
+/// Extended-A. Everything else passes through unchanged (full Unicode
+/// case folding needs tables this substrate doesn't carry).
+uint32_t FoldCodepoint(uint32_t cp) {
+  // Latin-1 Supplement: À..Þ → à..þ. U+00D7 is the multiplication sign,
+  // not a letter; its +0x20 image U+00F7 is the division sign.
+  if (cp >= 0xC0 && cp <= 0xDE && cp != 0xD7) return cp + 0x20;
+  // Latin Extended-A pairs alternate upper/lower. İ (U+0130) is the
+  // Turkish dotted capital I; fold to plain ASCII "i" (the combining dot
+  // of the strict folding buys nothing for gazetteer keys). ı (U+0131)
+  // is already lowercase.
+  if (cp == 0x130) return 'i';
+  if (cp >= 0x100 && cp <= 0x137) return cp % 2 == 0 ? cp + 1 : cp;
+  if (cp >= 0x139 && cp <= 0x148) return cp % 2 == 1 ? cp + 1 : cp;
+  if (cp >= 0x14A && cp <= 0x177) return cp % 2 == 0 ? cp + 1 : cp;
+  if (cp == 0x178) return 0xFF;  // Ÿ → ÿ (the one pair split across blocks)
+  if (cp == 0x179 || cp == 0x17B || cp == 0x17D) return cp + 1;
+  return cp;
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Lowercases `text` into `*out`: one branch per byte on pure-ASCII input
+/// (the overwhelmingly common case); multi-byte UTF-8 sequences are
+/// decoded, folded via FoldCodepoint, and re-encoded. Malformed sequences
+/// are copied through byte-for-byte so tokenization never mangles input
+/// it doesn't understand.
+void AppendLoweredUtf8(std::string_view text, std::string* out) {
+  size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char b0 = static_cast<unsigned char>(text[i]);
+    if (b0 < 0x80) {  // ASCII fast path
+      out->push_back(static_cast<char>(std::tolower(b0)));
+      ++i;
+      continue;
+    }
+    // Decode one multi-byte sequence (length from the lead byte).
+    size_t len = 0;
+    uint32_t cp = 0;
+    if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+    }
+    bool valid = len != 0 && i + len <= text.size();
+    for (size_t k = 1; valid && k < len; ++k) {
+      const unsigned char bk = static_cast<unsigned char>(text[i + k]);
+      if ((bk & 0xC0) != 0x80) {
+        valid = false;
+      } else {
+        cp = (cp << 6) | (bk & 0x3F);
+      }
+    }
+    if (!valid) {  // stray continuation / truncated sequence: pass through
+      out->push_back(static_cast<char>(b0));
+      ++i;
+      continue;
+    }
+    AppendUtf8(FoldCodepoint(cp), out);
+    i += len;
+  }
 }
 
 }  // namespace
@@ -29,10 +119,7 @@ std::vector<std::string> Tokenize(std::string_view text) {
       if (e > b) {
         std::string tok;
         tok.reserve(e - b);
-        for (size_t k = b; k < e; ++k) {
-          tok.push_back(static_cast<char>(
-              std::tolower(static_cast<unsigned char>(text[k]))));
-        }
+        AppendLoweredUtf8(text.substr(b, e - b), &tok);
         tokens.push_back(std::move(tok));
       }
     }

@@ -11,6 +11,13 @@ namespace kbqa::nlp {
 /// punctuation (keeping internal apostrophes/hyphens: "obama's" stays one
 /// token so possessive handling is explicit downstream), and keeps digit
 /// runs as single tokens. Punctuation-only runs are dropped.
+///
+/// Lowercasing is UTF-8 aware: ASCII takes a branch-per-byte fast path;
+/// Latin-1 Supplement and Latin Extended-A characters (everything the KB
+/// can carry via N-Triples \uXXXX escapes in those blocks — "José",
+/// "Čapek", "Łódź") case-fold to their lowercase forms, so gazetteer
+/// lookups match regardless of the question's casing. Other scripts pass
+/// through unchanged; malformed UTF-8 is copied byte-for-byte.
 std::vector<std::string> Tokenize(std::string_view text);
 
 /// Tokenizes and splits possessives: "obama's" -> ["obama", "'s"]. Question

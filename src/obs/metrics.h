@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
@@ -288,10 +290,16 @@ class MetricsRegistry {
   static void set_enabled(bool on) { SetEnabled(on); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name → metric maps only; the metric objects themselves are
+  /// internally synchronized (sharded atomics) and the returned pointers
+  /// stay valid without the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace kbqa::obs

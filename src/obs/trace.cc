@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kbqa::obs {
 
 namespace {
 
+/// One exported trace row (a relaxed snapshot of a ring slot).
 struct TraceEvent {
   const char* name;      // static string owned by the SpanSite
   uint64_t begin_ticks;
@@ -19,24 +22,37 @@ struct TraceEvent {
 
 constexpr size_t kRingCapacity = 1 << 14;  // per thread; oldest overwritten
 
-/// Per-thread event ring. Only the owning thread writes; readers run
-/// after Stop() when no new spans are being recorded. `count` is the
+/// One ring slot. Fields are individually atomic (relaxed — plain stores
+/// on x86) so an export that overlaps live recording reads well-defined
+/// values instead of racing: a torn slot can mix two events' fields, but
+/// exports taken after Tracing::Stop() + quiescence see exact data, and a
+/// mid-flight export degrades to at most one stale/mixed row per thread
+/// rather than undefined behavior.
+struct TraceSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> begin_ticks{0};
+  std::atomic<uint64_t> dur_ns{0};
+};
+
+/// Per-thread event ring. Only the owning thread writes. `count` is the
 /// monotone number of events ever pushed (slot = count % capacity).
 struct ThreadRing {
-  std::vector<TraceEvent> events{kRingCapacity};
+  std::vector<TraceSlot> events{kRingCapacity};
   std::atomic<uint64_t> count{0};
   uint32_t tid = 0;
 };
 
 struct TraceState {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadRing>> rings;
+  Mutex mu;
+  /// Guarded: the vector grows when new threads register their rings; the
+  /// rings themselves are written lock-free by their owning threads.
+  std::vector<std::unique_ptr<ThreadRing>> rings GUARDED_BY(mu);
   std::atomic<uint64_t> start_ticks{0};
 };
 
 TraceState& State() {
   // Leaked: rings must outlive thread exit and static destruction order.
-  static TraceState* const kState = new TraceState();
+  static TraceState* const kState = new TraceState();  // NOLINT(kbqa-naked-new)
   return *kState;
 }
 
@@ -44,7 +60,7 @@ ThreadRing* LocalRing() {
   thread_local ThreadRing* const ring = [] {
     auto owned = std::make_unique<ThreadRing>();
     TraceState& s = State();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     owned->tid = static_cast<uint32_t>(s.rings.size());
     s.rings.push_back(std::move(owned));
     return s.rings.back().get();
@@ -63,7 +79,10 @@ void FinishSpan(const SpanSite* site, uint64_t begin_ticks) {
   if (g_trace_active.load(std::memory_order_relaxed)) {
     ThreadRing* ring = LocalRing();
     const uint64_t idx = ring->count.load(std::memory_order_relaxed);
-    ring->events[idx % kRingCapacity] = {site->name(), begin_ticks, dur_ns};
+    TraceSlot& slot = ring->events[idx % kRingCapacity];
+    slot.name.store(site->name(), std::memory_order_relaxed);
+    slot.begin_ticks.store(begin_ticks, std::memory_order_relaxed);
+    slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
     ring->count.store(idx + 1, std::memory_order_release);
   }
 }
@@ -72,7 +91,7 @@ void FinishSpan(const SpanSite* site, uint64_t begin_ticks) {
 
 void Tracing::Start() {
   TraceState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   for (auto& ring : s.rings) ring->count.store(0, std::memory_order_relaxed);
   s.start_ticks.store(NowTicks(), std::memory_order_relaxed);
   internal::g_trace_active.store(true, std::memory_order_release);
@@ -92,7 +111,7 @@ void Tracing::SetSampleShift(unsigned shift) {
 
 size_t Tracing::CollectedEvents() {
   TraceState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   size_t total = 0;
   for (const auto& ring : s.rings) {
     total += static_cast<size_t>(std::min<uint64_t>(
@@ -113,14 +132,21 @@ void Tracing::ExportChromeTrace(std::ostream& os) {
   uint64_t start_ticks = 0;
   {
     TraceState& s = State();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     start_ticks = s.start_ticks.load(std::memory_order_relaxed);
     for (const auto& ring : s.rings) {
       const uint64_t count = ring->count.load(std::memory_order_acquire);
       const uint64_t kept = std::min<uint64_t>(count, kRingCapacity);
       dropped += count - kept;
       for (uint64_t i = 0; i < kept; ++i) {
-        const TraceEvent& e = ring->events[i];
+        const TraceSlot& slot = ring->events[i];
+        const TraceEvent e{slot.name.load(std::memory_order_relaxed),
+                           slot.begin_ticks.load(std::memory_order_relaxed),
+                           slot.dur_ns.load(std::memory_order_relaxed)};
+        // A slot published before the acquire-read of `count` is complete;
+        // a null name can only appear if an export overlaps live recording
+        // (torn slot) — skip it rather than emit a broken row.
+        if (e.name == nullptr) continue;
         rows.push_back({ring->tid, e.name, e.begin_ticks, e.dur_ns});
       }
     }

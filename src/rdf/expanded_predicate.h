@@ -105,7 +105,7 @@ class ExpandedKb {
   /// occur in the QA corpus — "reduction on s"). `name_like` is the set of
   /// predicates allowed as tails of length>=2 paths (typically {name,
   /// alias}).
-  static Result<ExpandedKb> Build(const KnowledgeBase& kb,
+  [[nodiscard]] static Result<ExpandedKb> Build(const KnowledgeBase& kb,
                                   const std::vector<TermId>& seeds,
                                   const std::unordered_set<PredId>& name_like,
                                   const ExpansionOptions& options);
@@ -118,7 +118,7 @@ class ExpandedKb {
   /// its dictionaries and node-kind flags only; its adjacency is never
   /// touched. Line blocks are parsed and joined in parallel; produces
   /// exactly the same triples as Build() (asserted by the property tests).
-  static Result<ExpandedKb> BuildFromDisk(
+  [[nodiscard]] static Result<ExpandedKb> BuildFromDisk(
       const KnowledgeBase& kb, const std::string& ntriples_path,
       const std::vector<TermId>& seeds,
       const std::unordered_set<PredId>& name_like,
@@ -153,7 +153,7 @@ class ExpandedKb {
   /// frontier. Shared by Build and BuildFromDisk.
   struct Discovery;
   struct WalkEntry;
-  Status CommitDiscoveries(const std::vector<Discovery>& discoveries,
+  [[nodiscard]] Status CommitDiscoveries(const std::vector<Discovery>& discoveries,
                            size_t* triples, size_t max_triples,
                            std::vector<WalkEntry>* next);
 

@@ -156,14 +156,14 @@ class KnowledgeBase {
   /// Writes the frozen store to a binary snapshot (format version 2): the
   /// dictionaries as offset-indexed string blobs and both CSR directions
   /// as single contiguous blocks, each written with one fwrite.
-  Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
   /// Reads a snapshot previously written by Save. The CSR blocks are
   /// slurped with bulk freads straight into their in-memory form (no
   /// per-record loop, no re-sort, no re-dedup); only the dictionary hash
   /// index and the name index are rebuilt. Returns a frozen store; a
   /// version-1 snapshot or other format mismatch yields a clean
   /// Corruption status.
-  static Result<KnowledgeBase> Load(const std::string& path);
+  [[nodiscard]] static Result<KnowledgeBase> Load(const std::string& path);
 
  private:
   TermId AddNode(std::string_view term, bool literal);

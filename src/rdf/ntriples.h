@@ -16,12 +16,15 @@ namespace kbqa::rdf {
 ///   <subject-iri> <predicate> "literal object" .
 ///   <subject-iri> <predicate> <object-iri> .
 /// '#'-prefixed lines and blank lines are skipped. Literals support the
-/// escapes \" \\ \n \t. IRIs are free-form strings without whitespace or
+/// escapes \" \\ \n \r \t plus the numeric \uXXXX / \UXXXXXXXX forms
+/// (decoded to UTF-8 bytes, so escaped entity names tokenize and
+/// case-fold exactly like their raw UTF-8 forms — see nlp/tokenizer.h).
+/// IRIs are free-form strings without whitespace or
 /// angle brackets (the library's node strings are not required to be true
 /// IRIs).
 
 /// Writes a frozen KB as N-Triples text.
-Status ExportNTriples(const KnowledgeBase& kb, const std::string& path);
+[[nodiscard]] Status ExportNTriples(const KnowledgeBase& kb, const std::string& path);
 
 /// Parses an N-Triples file into a fresh, frozen knowledge base.
 /// `name_predicate` (default "name") is declared as the KB's name
@@ -29,7 +32,7 @@ Status ExportNTriples(const KnowledgeBase& kb, const std::string& path);
 /// blocks on `num_threads` workers and committed serially in file order,
 /// so the resulting id assignment (and the reported error for a bad file)
 /// is identical for any thread count.
-Result<KnowledgeBase> ImportNTriples(const std::string& path,
+[[nodiscard]] Result<KnowledgeBase> ImportNTriples(const std::string& path,
                                      const std::string& name_predicate = "name",
                                      int num_threads = 1);
 
@@ -40,7 +43,7 @@ struct NTriple {
   std::string object;
   bool object_is_literal = false;
 };
-Result<NTriple> ParseNTripleLine(const std::string& line);
+[[nodiscard]] Result<NTriple> ParseNTripleLine(const std::string& line);
 std::string FormatNTripleLine(const NTriple& triple);
 
 }  // namespace kbqa::rdf

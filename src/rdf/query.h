@@ -57,7 +57,7 @@ struct QueryStats {
 /// Terms are whitespace-separated; literals with spaces are double-quoted
 /// ("barack obama"); patterns are separated by '.'. Case-sensitive keywords
 /// SELECT / WHERE.
-Result<Query> ParseQuery(const std::string& text);
+[[nodiscard]] Result<Query> ParseQuery(const std::string& text);
 
 /// Serializes a query back to the surface syntax (stable round-trip).
 std::string QueryToString(const Query& query);

@@ -3,7 +3,7 @@
 
 #include <cassert>
 #include <cmath>
-#include <cstdint>
+#include <cstddef>
 #include <vector>
 
 #include "util/rng.h"

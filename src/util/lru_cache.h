@@ -1,13 +1,16 @@
 #ifndef KBQA_UTIL_LRU_CACHE_H_
 #define KBQA_UTIL_LRU_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kbqa {
 
@@ -54,7 +57,7 @@ class ShardedLruCache {
   /// key is absent.
   bool Get(const Key& key, Value* out) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return false;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -72,7 +75,7 @@ class ShardedLruCache {
   uint64_t Insert(const Key& key, Value value, uint64_t payload_bytes) {
     const uint64_t charge = sizeof(Key) + payload_bytes;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -97,7 +100,7 @@ class ShardedLruCache {
   Stats GetStats() const {
     Stats stats;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       stats.entries += shard.index.size();
       stats.bytes += shard.bytes;
       stats.evictions += shard.evictions;
@@ -116,13 +119,14 @@ class ShardedLruCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used. std::list keeps iterators stable across
     /// splice, so the index maps keys straight to list nodes.
-    std::list<Entry> lru;
-    std::unordered_map<Key, typename std::list<Entry>::iterator> index;
-    uint64_t bytes = 0;
-    uint64_t evictions = 0;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<Key, typename std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key) {
@@ -135,7 +139,7 @@ class ShardedLruCache {
     return shards_[h & (shards_.size() - 1)];
   }
 
-  static void EvictTail(Shard* shard) {
+  static void EvictTail(Shard* shard) REQUIRES(shard->mu) {
     Entry& victim = shard->lru.back();
     shard->bytes -= victim.charge;
     shard->index.erase(victim.key);

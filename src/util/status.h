@@ -31,7 +31,13 @@ const char* StatusCodeToString(StatusCode code);
 
 /// RocksDB-style status object. Cheap to copy in the OK case (no message
 /// allocated); carries a code and a free-form message otherwise.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes silently dropping any returned
+/// Status a compile error (-Werror=unused-result): an ignored import or
+/// serialize failure is a latent corruption bug, not a style nit. The only
+/// sanctioned escape hatch is a `(void)` cast carrying a comment that
+/// justifies why the failure is genuinely irrelevant at that site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -93,8 +99,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Minimal StatusOr: either a value or a non-OK status. Access to `value()`
 /// on an error Result is a programming error (asserted in debug builds).
+/// `[[nodiscard]]` like Status: a dropped Result discards both the value
+/// and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return my_value;`.
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}

@@ -1,6 +1,8 @@
 #ifndef KBQA_UTIL_STRINGS_H_
 #define KBQA_UTIL_STRINGS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -3,6 +3,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace kbqa {

@@ -1,0 +1,95 @@
+#ifndef KBQA_UTIL_THREAD_ANNOTATIONS_H_
+#define KBQA_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (Abseil-style spellings).
+///
+/// Under Clang these expand to the `thread_safety` attributes checked by
+/// `-Wthread-safety` (the CI static-analysis job builds with
+/// `-Werror=thread-safety`); under GCC and every other compiler they are
+/// no-ops, so annotated code builds everywhere. Use them to declare which
+/// mutex guards which member (`GUARDED_BY`), which capability a function
+/// needs on entry (`REQUIRES` / the legacy `EXCLUSIVE_LOCKS_REQUIRED`
+/// spelling), and which functions acquire or release locks — the analysis
+/// then proves at compile time that every guarded access holds the right
+/// lock. See util/mutex.h for the annotated Mutex/MutexLock/CondVar
+/// primitives the annotations are written against.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define KBQA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define KBQA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability ("mutex"-like). Required on lock
+/// types so REQUIRES/ACQUIRE arguments type-check.
+#define CAPABILITY(x) KBQA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (see MutexLock).
+#define SCOPED_CAPABILITY KBQA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member `x` may only be read or written while holding the named
+/// capability.
+#define GUARDED_BY(x) KBQA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the *pointee* is guarded by the named capability.
+#define PT_GUARDED_BY(x) KBQA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the named capabilities
+/// exclusively (they are not acquired or released by the call).
+#define REQUIRES(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Legacy spellings of REQUIRES/REQUIRES_SHARED, kept because much
+/// existing annotation literature (and the issue tracker) uses them.
+#define EXCLUSIVE_LOCKS_REQUIRED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(exclusive_locks_required(__VA_ARGS__))
+#define SHARED_LOCKS_REQUIRED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(shared_locks_required(__VA_ARGS__))
+
+/// The function acquires / releases the named capability.
+#define ACQUIRE(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value meaning "acquired".
+#define TRY_ACQUIRE(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the named capability
+/// (it acquires it itself; prevents self-deadlock).
+#define EXCLUDES(...) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the capability is held; teaches the analysis
+/// about externally guaranteed locking.
+#define ASSERT_CAPABILITY(x) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) KBQA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use must carry a
+/// comment justifying why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  KBQA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // KBQA_UTIL_THREAD_ANNOTATIONS_H_

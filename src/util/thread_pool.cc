@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include "obs/obs.h"
+#include "util/mutex.h"
 
 namespace kbqa {
 
@@ -14,10 +15,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -25,10 +26,11 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ &&
+             (job_ == nullptr || generation_ == seen_generation)) {
+        work_ready_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
@@ -41,7 +43,7 @@ void ThreadPool::DrainShards() {
     size_t shard;
     const std::function<void(size_t)>* job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (job_ == nullptr || next_shard_ >= num_shards_) return;
       shard = next_shard_++;
       ++shards_in_flight_;
@@ -53,10 +55,10 @@ void ThreadPool::DrainShards() {
     }
     KBQA_COUNTER_ADD("thread_pool.tasks", 1);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --shards_in_flight_;
       if (next_shard_ >= num_shards_ && shards_in_flight_ == 0) {
-        job_done_.notify_all();
+        job_done_.NotifyAll();
       }
     }
   }
@@ -80,19 +82,19 @@ void ThreadPool::RunShards(size_t num_shards,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     next_shard_ = 0;
     num_shards_ = num_shards;
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   DrainShards();  // The caller is a worker too.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    job_done_.wait(lock, [&] {
-      return next_shard_ >= num_shards_ && shards_in_flight_ == 0;
-    });
+    MutexLock lock(mu_);
+    while (!(next_shard_ >= num_shards_ && shards_in_flight_ == 0)) {
+      job_done_.Wait(mu_);
+    }
     job_ = nullptr;
   }
   KBQA_GAUGE_SET("thread_pool.queue_depth", 0);

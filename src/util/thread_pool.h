@@ -1,13 +1,15 @@
 #ifndef KBQA_UTIL_THREAD_POOL_H_
 #define KBQA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kbqa {
 
@@ -48,15 +50,17 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable job_done_;
-  const std::function<void(size_t)>* job_ = nullptr;  // null: no active job
-  size_t next_shard_ = 0;
-  size_t num_shards_ = 0;
-  size_t shards_in_flight_ = 0;
-  uint64_t generation_ = 0;  // bumped per job so workers wake exactly once
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar job_done_;
+  // null: no active job
+  const std::function<void(size_t)>* job_ GUARDED_BY(mu_) = nullptr;
+  size_t next_shard_ GUARDED_BY(mu_) = 0;
+  size_t num_shards_ GUARDED_BY(mu_) = 0;
+  size_t shards_in_flight_ GUARDED_BY(mu_) = 0;
+  // Bumped per job so workers wake exactly once.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Half-open index range of one static shard.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nlp/ner.h"
@@ -9,6 +12,7 @@
 #include "nlp/stopwords.h"
 #include "nlp/tokenizer.h"
 #include "rdf/knowledge_base.h"
+#include "rdf/ntriples.h"
 
 namespace kbqa::nlp {
 namespace {
@@ -52,6 +56,122 @@ TEST(TokenizerTest, JoinTokensRoundTrip) {
   std::vector<std::string> tokens = {"a", "b", "c"};
   EXPECT_EQ(JoinTokens(tokens), "a b c");
   EXPECT_EQ(JoinTokens({}), "");
+}
+
+// ---------- UTF-8 aware lowercasing ----------
+
+TEST(TokenizerUtf8Test, FoldsLatin1AndLatinExtendedA) {
+  EXPECT_EQ(Tokenize("José ÉCLAIR Čapek ŁÓDŹ"),
+            (std::vector<std::string>{"josé", "éclair", "čapek", "łódź"}));
+  // Ÿ is the one upper/lower pair split across the two blocks.
+  EXPECT_EQ(Tokenize("Ÿ"), (std::vector<std::string>{"ÿ"}));
+  // Turkish dotted capital İ folds to plain ASCII i (gazetteer keys don't
+  // want the combining dot of the strict folding).
+  EXPECT_EQ(Tokenize("İstanbul"), (std::vector<std::string>{"istanbul"}));
+}
+
+TEST(TokenizerUtf8Test, MultiplicationSignIsNotALetter) {
+  // U+00D7 sits in the middle of the Latin-1 uppercase range but must not
+  // fold to U+00F7 (division sign).
+  EXPECT_EQ(Tokenize("3×4"), (std::vector<std::string>{"3×4"}));
+}
+
+TEST(TokenizerUtf8Test, AccentedWordsStayWholeTokens) {
+  // Bytes >= 0x80 are word content: "josé" must not split after the "s"
+  // the way a locale-dependent isalnum could make it.
+  EXPECT_EQ(Tokenize("Où est José?"),
+            (std::vector<std::string>{"où", "est", "josé"}));
+}
+
+TEST(TokenizerUtf8Test, OtherScriptsPassThroughUnchanged) {
+  // Cyrillic/CJK are outside the folded blocks: preserved byte-for-byte.
+  EXPECT_EQ(Tokenize("МОСКВА 北京"),
+            (std::vector<std::string>{"МОСКВА", "北京"}));
+}
+
+TEST(TokenizerUtf8Test, MalformedUtf8PassesThroughBytewise) {
+  // A stray continuation byte and a truncated lead byte must not be
+  // dropped or mangled — copied through as-is inside their token.
+  const std::string stray = std::string("ab") + '\x85' + "cd";
+  ASSERT_EQ(Tokenize(stray).size(), 1u);
+  EXPECT_EQ(Tokenize(stray)[0], stray);
+  const std::string truncated = std::string("x") + '\xC3';
+  ASSERT_EQ(Tokenize(truncated).size(), 1u);
+  EXPECT_EQ(Tokenize(truncated)[0], truncated);
+}
+
+/// \uXXXX escape of `cp` as written in an N-Triples literal.
+std::string UEscape(uint32_t cp) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\u%04X", cp);
+  return buf;
+}
+
+TEST(TokenizerUtf8PropertyTest, EscapedKbNamesFoldLikeTheirLowercaseForms) {
+  // Property over every upper/lower pair the tokenizer folds: a KB entity
+  // name arriving as an N-Triples \uXXXX escape of the UPPERCASE form must
+  // tokenize identically to the plain lowercase form — the invariant
+  // gazetteer lookups rely on (names are interned lowercase; questions may
+  // use any case).
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t cp = 0xC0; cp <= 0xDE; ++cp) {
+    if (cp != 0xD7) pairs.emplace_back(cp, cp + 0x20);
+  }
+  for (uint32_t cp = 0x100; cp <= 0x136; cp += 2) {
+    // İ (U+0130) folds to plain ASCII "i", not U+0131 — checked below.
+    if (cp != 0x130) pairs.emplace_back(cp, cp + 1);
+  }
+  pairs.emplace_back(0x130, 'i');
+  for (uint32_t cp = 0x139; cp <= 0x147; cp += 2) pairs.emplace_back(cp, cp + 1);
+  for (uint32_t cp = 0x14A; cp <= 0x176; cp += 2) pairs.emplace_back(cp, cp + 1);
+  pairs.emplace_back(0x178, 0xFF);
+  for (uint32_t cp : {0x179u, 0x17Bu, 0x17Du}) pairs.emplace_back(cp, cp + 1);
+
+  for (const auto& [upper, lower] : pairs) {
+    const std::string line = "<e/x> <name> \"Q" + UEscape(upper) + "x\" .";
+    auto parsed = rdf::ParseNTripleLine(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    std::string expected = "q";
+    // Lowercase reference form, UTF-8 encoded by hand (every lower half is
+    // either ASCII or < 0x800: two bytes).
+    if (lower < 0x80) {
+      expected.push_back(static_cast<char>(lower));
+    } else {
+      expected.push_back(static_cast<char>(0xC0 | (lower >> 6)));
+      expected.push_back(static_cast<char>(0x80 | (lower & 0x3F)));
+    }
+    expected.push_back('x');
+    const auto tokens = Tokenize(parsed.value().object);
+    ASSERT_EQ(tokens.size(), 1u) << line;
+    EXPECT_EQ(tokens[0], expected)
+        << "U+" << std::hex << upper << " did not fold to U+" << lower;
+  }
+}
+
+TEST(TokenizerUtf8Test, EscapedKbEntityFoundByGazetteerAnyCase) {
+  // End-to-end satellite check: an entity whose name enters the KB via
+  // N-Triples \uXXXX escapes is found by the NER regardless of question
+  // casing.
+  rdf::KnowledgeBase kb;
+  const rdf::PredId name = kb.AddPredicate("name");
+  kb.SetNamePredicate(name);
+  auto parsed = rdf::ParseNTripleLine(
+      "<e/jose_garcia> <name> \"Jos\\u00C9 Garc\\u00CDa\" .");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const rdf::NTriple& triple = parsed.value();
+  ASSERT_TRUE(triple.object_is_literal);
+  kb.AddTriple(triple.subject, triple.predicate, triple.object,
+               /*object_is_literal=*/true);
+  kb.Freeze();
+  GazetteerNer ner(kb);
+
+  for (const char* question :
+       {"where was josé garcía born", "where was JOSÉ GARCÍA born",
+        "where was JosÉ GarcÍa born"}) {
+    const auto mentions = ner.FindMentions(TokenizeQuestion(question));
+    ASSERT_EQ(mentions.size(), 1u) << question;
+    EXPECT_EQ(mentions[0].size(), 2u) << question;
+  }
 }
 
 // ---------- Stopwords ----------

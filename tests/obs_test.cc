@@ -2,8 +2,10 @@
 // histogram bucket math, snapshot JSON round-trips, trace export, span
 // sampling, and the runtime kill switch.
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -230,6 +232,43 @@ TEST(TracingTest, ChromeTraceGoldenStructure) {
     ASSERT_NE(h, nullptr) << name;
     EXPECT_GE(h->count, 1u) << name;
   }
+}
+
+// Regression for the export-during-recording race: ExportChromeTrace may
+// overlap live span recording (an operator can dump a trace mid-request).
+// The ring slots are individually atomic, so a concurrent export must
+// produce well-formed JSON — possibly missing the in-flight row, never a
+// torn or broken one — and a quiescent export after Stop() is exact.
+TEST(TracingTest, ExportWhileRecordingIsWellFormed) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::Tracing::Start();
+  constexpr size_t kSpans = 5000;  // < ring capacity: nothing overwritten
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (size_t i = 0; i < kSpans; ++i) {
+      KBQA_TRACE_SPAN("live.span");
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  do {
+    std::ostringstream os;
+    obs::Tracing::ExportChromeTrace(os);
+    const std::string json = os.str();
+    ASSERT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    ASSERT_EQ(json.back(), '\n');
+    // Every emitted row is complete: a torn slot is skipped, not mangled.
+    for (const std::string& name : EventNames(json)) {
+      ASSERT_EQ(name, "live.span");
+    }
+  } while (!writer_done.load(std::memory_order_acquire));
+  writer.join();
+  obs::Tracing::Stop();
+
+  // Quiescent export is exact: every recorded span, none lost or torn.
+  EXPECT_EQ(obs::Tracing::CollectedEvents(), kSpans);
+  std::ostringstream os;
+  obs::Tracing::ExportChromeTrace(os);
+  EXPECT_EQ(EventNames(os.str()).size(), kSpans);
 }
 
 TEST(TracingTest, SampledSpansRecordOnlyInFiringDetailWindows) {

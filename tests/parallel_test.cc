@@ -285,6 +285,96 @@ TEST_F(ParallelSystemTest, BudgetedCacheMatchesUnboundedAndStaysUnderBudget) {
   EXPECT_GE(capped.misses, full.misses);
 }
 
+TEST_F(ParallelSystemTest, AnswerCacheMatchesUncachedAcrossBatches) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  core::OnlineInference::Options cached_options = kbqa.options().online;
+  cached_options.enable_answer_cache = true;
+  cached_options.answer_cache_budget_bytes = 0;  // unbounded memo
+
+  core::OnlineInference cached(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), cached_options);
+
+  // Head-heavy batch: every question appears twice (serving traffic shape
+  // the memo exists for).
+  std::vector<std::string> unique_questions = BenchmarkQuestions(20, 5353);
+  std::vector<std::string> batch = unique_questions;
+  batch.insert(batch.end(), unique_questions.begin(), unique_questions.end());
+
+  std::vector<core::AnswerResult> reference;
+  reference.reserve(batch.size());
+  for (const std::string& q : batch) reference.push_back(kbqa.Answer(q));
+
+  // Pass 1 single-threaded (cold cache), pass 2 sharded (warm cache):
+  // both must be field-identical to the uncached engine.
+  for (int pass_threads : {1, 4}) {
+    std::vector<core::AnswerResult> batched =
+        cached.AnswerAll(batch, pass_threads);
+    ASSERT_EQ(batched.size(), reference.size());
+    for (size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i].answered, reference[i].answered) << batch[i];
+      EXPECT_EQ(batched[i].value, reference[i].value) << batch[i];
+      EXPECT_EQ(batched[i].score, reference[i].score) << batch[i];
+      EXPECT_EQ(batched[i].predicate, reference[i].predicate) << batch[i];
+      EXPECT_EQ(batched[i].sparql, reference[i].sparql) << batch[i];
+      EXPECT_EQ(batched[i].values, reference[i].values) << batch[i];
+      EXPECT_TRUE(batched[i].status.ok()) << batch[i];
+    }
+  }
+
+  // Books: pass 1 ran single-threaded, so each unique question missed
+  // exactly once (its duplicate hit the fresh entry); pass 2 was all hits.
+  const core::ValueCacheStats stats = cached.answer_cache_stats();
+  EXPECT_EQ(stats.misses, unique_questions.size());
+  EXPECT_EQ(stats.hits, 2 * batch.size() - unique_questions.size());
+  EXPECT_EQ(stats.entries, unique_questions.size());
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.budget_bytes, 0u);
+
+  // Single-shot Answer bypasses the whole-question memo (benchmarks measure
+  // the pipeline): stats must not move.
+  (void)cached.Answer(unique_questions[0]);  // memo bypass asserted below
+  EXPECT_EQ(cached.answer_cache_stats().hits, stats.hits);
+  EXPECT_EQ(cached.answer_cache_stats().misses, stats.misses);
+
+  // With the memo disabled (the default), the books stay empty.
+  EXPECT_EQ(kbqa.online().answer_cache_stats().entries, 0u);
+  EXPECT_EQ(kbqa.online().answer_cache_stats().hits, 0u);
+}
+
+TEST_F(ParallelSystemTest, AnswerCacheBudgetBoundsResidentBytes) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  core::OnlineInference::Options budgeted_options = kbqa.options().online;
+  budgeted_options.enable_answer_cache = true;
+  // Small enough that a realistic stream cannot keep everything resident,
+  // large enough for a per-shard slice to admit typical AnswerResults.
+  budgeted_options.answer_cache_budget_bytes = 64 * 1024;
+
+  core::OnlineInference budgeted(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), budgeted_options);
+
+  std::vector<std::string> questions = BenchmarkQuestions(40, 2718);
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<core::AnswerResult> batched = budgeted.AnswerAll(questions, 2);
+    for (size_t i = 0; i < batched.size(); ++i) {
+      // Eviction must be semantically invisible: dropped memo entries are
+      // recomputed by the full pipeline on the next miss.
+      core::AnswerResult direct = kbqa.Answer(questions[i]);
+      EXPECT_EQ(batched[i].answered, direct.answered) << questions[i];
+      EXPECT_EQ(batched[i].value, direct.value) << questions[i];
+      EXPECT_EQ(batched[i].score, direct.score) << questions[i];
+      EXPECT_EQ(batched[i].values, direct.values) << questions[i];
+    }
+  }
+
+  const core::ValueCacheStats stats = budgeted.answer_cache_stats();
+  EXPECT_EQ(stats.budget_bytes, budgeted_options.answer_cache_budget_bytes);
+  EXPECT_LE(stats.bytes, stats.budget_bytes);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_EQ(stats.hits + stats.misses, 2 * questions.size());
+}
+
 TEST_F(ParallelSystemTest, DeadlineExceededDegradesGracefully) {
   const core::KbqaSystem& kbqa = experiment().kbqa();
   std::vector<std::string> questions = BenchmarkQuestions(10, 6464);
