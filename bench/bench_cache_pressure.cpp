@@ -17,7 +17,6 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "util/distributions.h"
 #include "util/lru_cache.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -160,9 +159,9 @@ int main() {
   // ---- Budgeted arms first, so their RSS readings are not inflated by
   // the unbounded comparison arms' retained heap. ----
   Rng zipf_rng(17);
-  ZipfSampler zipf(kKeyspace, 0.99);
+  ZipfianGenerator zipf(kKeyspace, 0.99);
   StreamResult zipf_bounded = DriveStream(
-      kBudgetBytes, kOps, [&] { return static_cast<uint64_t>(zipf.Sample(zipf_rng)); });
+      kBudgetBytes, kOps, [&] { return zipf.Sample(zipf_rng); });
   PrintStream("zipfian/64MiB", zipf_bounded);
 
   Rng uni_rng(18);
@@ -180,9 +179,9 @@ int main() {
 
   // ---- Unbounded comparison arms (the pre-budget behavior). ----
   Rng zipf_rng2(17);
-  ZipfSampler zipf2(kKeyspace, 0.99);
+  ZipfianGenerator zipf2(kKeyspace, 0.99);
   StreamResult zipf_unbounded = DriveStream(
-      0, kOps, [&] { return static_cast<uint64_t>(zipf2.Sample(zipf_rng2)); });
+      0, kOps, [&] { return zipf2.Sample(zipf_rng2); });
   PrintStream("zipfian/unbounded", zipf_unbounded);
 
   Rng uni_rng2(18);

@@ -1,6 +1,9 @@
 #ifndef KBQA_BENCH_BENCH_COMMON_H_
 #define KBQA_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <ostream>
@@ -13,6 +16,58 @@
 #include "util/timer.h"
 
 namespace kbqa::bench {
+
+/// Exact-percentile latency reservoir: keeps every sample and sorts once at
+/// read time. Benches record at most a few million samples, so the memory
+/// cost is trivial and the percentiles are exact — the ground truth the
+/// log-bucketed obs histograms (MetricsSnapshot::ValueAtQuantile) are
+/// validated against. Not thread-safe; give each load thread its own and
+/// Merge at the end.
+class LatencyReservoir {
+ public:
+  void Record(uint64_t nanos) {
+    sorted_ = sorted_ && (samples_.empty() || nanos >= samples_.back());
+    samples_.push_back(nanos);
+  }
+
+  void Merge(const LatencyReservoir& other) {
+    sorted_ = false;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile of recorded samples; q in [0, 1]. 0 when
+  /// empty.
+  uint64_t ValueAtQuantile(double q) const {
+    if (samples_.empty()) return 0;
+    Sort();
+    q = std::min(std::max(q, 0.0), 1.0);
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    if (rank > 0) --rank;
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  double MeanNanos() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (uint64_t s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<uint64_t> samples_;
+  mutable bool sorted_ = true;
+};
 
 /// Builds the standard experiment used by every table bench, printing
 /// setup progress. Terminates the process on failure (benches have no

@@ -7,6 +7,10 @@
 #   scripts/check.sh --tsan   # ThreadSanitizer tree only (build + tests,
 #                             # suppressions from tsan.supp — kept empty;
 #                             # see the policy note at its top)
+#   scripts/check.sh --serve-smoke
+#                             # build bench_serving, run a short low-QPS
+#                             # open-loop pass (--smoke), and validate the
+#                             # BENCH_serving.json schema
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -44,10 +48,23 @@ run_tsan() {
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 }
 
+run_serve_smoke() {
+  echo "== serving smoke (bench_serving --smoke) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_serving
+  (cd build && ./bench/bench_serving --smoke)
+  echo "== BENCH_serving.json schema =="
+  python3 scripts/validate_bench_serving.py build/BENCH_serving.json
+}
+
 case "${1:-}" in
   --lint)
     run_lint
     echo "== OK (lint) =="
+    ;;
+  --serve-smoke)
+    run_serve_smoke
+    echo "== OK (serve smoke) =="
     ;;
   --tsan)
     run_tsan
@@ -65,7 +82,7 @@ case "${1:-}" in
     echo "== OK =="
     ;;
   *)
-    echo "usage: scripts/check.sh [fast|--lint|--tsan]" >&2
+    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke]" >&2
     exit 2
     ;;
 esac

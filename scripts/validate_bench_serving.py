@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_serving.json (scripts/check.sh --serve-smoke).
+
+Validates the shape the serving load harness promises: a steady run below
+saturation that kept up with its offered load, an overload run that
+actually exercised admission control (nonzero rejected), and p50/p99/p999
+latency split into queue-wait vs service for both.
+"""
+
+import json
+import sys
+
+LATENCY_KEYS = ("p50_ns", "p99_ns", "p999_ns", "mean_ns", "count")
+RUN_KEYS = (
+    "target_qps",
+    "offered",
+    "wall_s",
+    "completed",
+    "rejected",
+    "shed_expired",
+    "shed_shutdown",
+    "throughput_qps",
+    "mean_batch_size",
+    "latency",
+)
+
+
+def fail(msg):
+    print(f"BENCH_serving.json schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_latency(run_name, latency):
+    for split in ("total", "queue_wait", "service"):
+        require(split in latency, f"{run_name}.latency.{split} missing")
+        for key in LATENCY_KEYS:
+            value = latency[split].get(key)
+            require(
+                isinstance(value, (int, float)) and value >= 0,
+                f"{run_name}.latency.{split}.{key} missing or negative",
+            )
+        require(
+            latency[split]["p50_ns"]
+            <= latency[split]["p99_ns"]
+            <= latency[split]["p999_ns"],
+            f"{run_name}.latency.{split} percentiles not monotone",
+        )
+
+
+def check_run(name, run):
+    for key in RUN_KEYS:
+        require(key in run, f"{name}.{key} missing")
+    require(run["completed"] > 0, f"{name} completed no requests")
+    require(run["throughput_qps"] > 0, f"{name} throughput is zero")
+    accounted = (
+        run["completed"]
+        + run["rejected"]
+        + run["shed_expired"]
+        + run["shed_shutdown"]
+    )
+    require(
+        accounted == run["offered"],
+        f"{name}: offered {run['offered']} != accounted {accounted}",
+    )
+    check_latency(name, run["latency"])
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_serving.py <BENCH_serving.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    for key in ("hardware_threads", "config", "engine_serial_qps",
+                "capacity_estimate_qps", "steady", "overload", "batch_ab"):
+        require(key in doc, f"top-level {key} missing")
+    require(doc["hardware_threads"] >= 1, "hardware_threads < 1")
+
+    check_run("steady", doc["steady"])
+    check_run("overload", doc["overload"])
+
+    steady = doc["steady"]
+    require(
+        steady["rejected"] == 0,
+        "steady (below saturation) rejected requests",
+    )
+    require(
+        steady["completed"] >= 0.8 * steady["offered"],
+        "steady throughput did not track offered load",
+    )
+    require(
+        doc["overload"]["rejected"] > 0,
+        "overload run never hit admission control",
+    )
+
+    ab = doc["batch_ab"]
+    for key in ("threads", "batch1_qps", "batch32_qps", "speedup"):
+        require(key in ab, f"batch_ab.{key} missing")
+    require(ab["batch1_qps"] > 0 and ab["batch32_qps"] > 0,
+            "batch A/B throughput is zero")
+
+    print("BENCH_serving.json schema: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -235,36 +235,42 @@ std::vector<AnswerResult> OnlineInference::AnswerAll(
   ParallelFor(pool, questions.size(), num_shards,
               [&](size_t shard, size_t begin, size_t end) {
                 (void)shard;
-                // Per-shard tally, flushed once after the shard — the same
-                // exact-counters-cheaply pattern as the value cache.
-                uint64_t hits = 0, misses = 0, evictions = 0;
                 for (size_t i = begin; i < end; ++i) {
-                  if (options_.enable_answer_cache &&
-                      answer_cache_.Get(questions[i], &results[i])) {
-                    ++hits;
-                    continue;
-                  }
-                  results[i] = Answer(questions[i]);
-                  if (options_.enable_answer_cache) {
-                    ++misses;
-                    // Memoized results are complete by construction: plain
-                    // Answer takes no deadline, so no partial
-                    // kDeadlineExceeded result can be cached.
-                    evictions += answer_cache_.Insert(
-                        questions[i], results[i],
-                        AnswerResultPayloadBytes(questions[i], results[i]));
-                  }
-                }
-                if (!options_.enable_answer_cache) return;
-                if (hits != 0) answer_cache_hits_.Add(hits);
-                if (misses != 0) answer_cache_misses_.Add(misses);
-                if (obs::Enabled()) {
-                  KBQA_COUNTER_ADD("online.answer_cache.hits", hits);
-                  KBQA_COUNTER_ADD("online.answer_cache.misses", misses);
-                  KBQA_COUNTER_ADD("online.answer_cache.evictions", evictions);
+                  results[i] = AnswerCached(questions[i], AnswerOptions{});
                 }
               });
   return results;
+}
+
+AnswerResult OnlineInference::AnswerCached(
+    const std::string& question, const AnswerOptions& answer_options) const {
+  if (!options_.enable_answer_cache) {
+    return Answer(question, answer_options);
+  }
+  // Normalized key: whitespace/case/punctuation paraphrases tokenize to
+  // the same sequence, so they are the same question to the pipeline and
+  // must be the same entry to the memo.
+  const std::string key = nlp::NormalizeText(question);
+  AnswerResult result;
+  if (answer_cache_.Get(key, &result)) {
+    answer_cache_hits_.Add(1);
+    KBQA_COUNTER_ADD("online.answer_cache.hits", 1);
+    return result;
+  }
+  result = Answer(question, answer_options);
+  answer_cache_misses_.Add(1);
+  KBQA_COUNTER_ADD("online.answer_cache.misses", 1);
+  // Only complete answers are memoized: a deadline-clipped partial
+  // (kDeadlineExceeded) would otherwise serve its truncation to every
+  // later request that has budget to compute the real thing.
+  if (result.status.ok()) {
+    const uint64_t evictions = answer_cache_.Insert(
+        key, result, AnswerResultPayloadBytes(key, result));
+    if (evictions != 0) {
+      KBQA_COUNTER_ADD("online.answer_cache.evictions", evictions);
+    }
+  }
+  return result;
 }
 
 AnswerResult OnlineInference::AnswerTokens(

@@ -153,6 +153,16 @@ class OnlineInference {
   std::vector<AnswerResult> AnswerAll(const std::vector<std::string>& questions,
                                       int num_threads) const;
 
+  /// One question through the whole-question memo cache (when enabled) —
+  /// the per-request unit AnswerAll shards and the serving batcher both
+  /// route through. The cache key is NormalizeText(question), so casing /
+  /// whitespace / punctuation paraphrases of one canonical question share
+  /// an entry (they tokenize identically, hence answer identically). Only
+  /// complete results are memoized: a deadline-clipped partial answer
+  /// (status kDeadlineExceeded) is returned but never cached.
+  AnswerResult AnswerCached(const std::string& question,
+                            const AnswerOptions& answer_options) const;
+
   /// Cheap answerability probe: true when some entity+template resolves to
   /// a learned predicate with at least one value — the δ(q) primitive-BFQ
   /// indicator of the decomposition DP (§5.3).
@@ -211,9 +221,11 @@ class OnlineInference {
   mutable obs::ShardedCounter cache_hits_;
   mutable obs::ShardedCounter cache_misses_;
 
-  /// Whole-question memo for AnswerAll: raw question string → full
-  /// AnswerResult. Internally synchronized (sharded LRU) like the value
-  /// cache; results are copied out, so eviction never invalidates callers.
+  /// Whole-question memo for AnswerAll/AnswerCached: normalized question
+  /// text (NormalizeText) → full AnswerResult, so surface paraphrases that
+  /// tokenize identically hit one entry. Internally synchronized (sharded
+  /// LRU) like the value cache; results are copied out, so eviction never
+  /// invalidates callers.
   mutable ShardedLruCache<std::string, AnswerResult> answer_cache_;
   mutable obs::ShardedCounter answer_cache_hits_;
   mutable obs::ShardedCounter answer_cache_misses_;

@@ -85,6 +85,30 @@ uint64_t MetricsSnapshot::HistogramEntry::ApproxQuantile(double q) const {
   return buckets.empty() ? 0 : Histogram::UpperBound(buckets.back().bucket);
 }
 
+uint64_t MetricsSnapshot::HistogramEntry::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const BucketEntry& b : buckets) {
+    const uint64_t before = cumulative;
+    cumulative += b.count;
+    if (static_cast<double>(cumulative) < target) continue;
+    const uint64_t upper = Histogram::UpperBound(b.bucket);
+    // Bucket 0 is the point mass {0}; the overflow bucket has no finite
+    // width — report its floor rather than inventing mass beyond 2^62.
+    if (b.bucket == 0) return 0;
+    const uint64_t lower = Histogram::UpperBound(b.bucket - 1) + 1;
+    if (upper == UINT64_MAX) return lower;
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(b.count);
+    return lower + static_cast<uint64_t>(
+                       fraction * static_cast<double>(upper - lower));
+  }
+  return buckets.empty() ? 0 : Histogram::UpperBound(buckets.back().bucket);
+}
+
 namespace {
 
 template <typename Vec>

@@ -245,6 +245,15 @@ struct MetricsSnapshot {
     /// Inclusive upper bound of the bucket where the cumulative count
     /// first reaches q * count (the log-bucket quantile approximation).
     uint64_t ApproxQuantile(double q) const;
+    /// Quantile with linear interpolation inside the landing bucket:
+    /// assumes the bucket's mass is spread uniformly over [lower, upper]
+    /// and returns the value at the target rank's position within it.
+    /// Strictly tighter than ApproxQuantile (which always reports the
+    /// bucket ceiling — a 2x overestimate in the worst case for the
+    /// power-of-two buckets); exact for single-bucket point masses. This
+    /// is what makes `online.serve.latency` percentiles queryable from
+    /// the registry without a bench-side reservoir.
+    uint64_t ValueAtQuantile(double q) const;
 
     bool operator==(const HistogramEntry&) const = default;
   };

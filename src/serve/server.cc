@@ -1,0 +1,299 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace kbqa::serve {
+
+namespace {
+
+uint64_t NanosBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+ServingOptions Sanitize(ServingOptions options) {
+  if (options.num_workers < 1) options.num_workers = 1;
+  if (options.max_queue_depth < 1) options.max_queue_depth = 1;
+  if (options.max_batch_size < 1) options.max_batch_size = 1;
+  if (options.max_inflight_batches == 0) {
+    options.max_inflight_batches = static_cast<size_t>(options.num_workers);
+  }
+  return options;
+}
+
+}  // namespace
+
+Server::Server(Handler handler, const ServingOptions& options)
+    : handler_(std::move(handler)),
+      options_(Sanitize(options)),
+      // num_workers dedicated workers: the +1 "caller" slot of the pool
+      // belongs to the batcher, which only ever uses the async Submit path
+      // and never drains shards itself.
+      pool_(options_.num_workers + 1),
+      batcher_([this] { BatcherLoop(); }) {}
+
+std::unique_ptr<Server> Server::ForEngine(const core::OnlineInference* engine,
+                                          const ServingOptions& options) {
+  return std::make_unique<Server>(
+      [engine](const std::string& question,
+               const core::AnswerOptions& answer_options) {
+        return engine->AnswerCached(question, answer_options);
+      },
+      options);
+}
+
+Server::~Server() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.NotifyAll();
+  // The batcher sheds whatever is still queued, then exits; ~pool_ waits
+  // for every dispatched batch (and its completion callbacks) to retire.
+  batcher_.join();
+}
+
+Status Server::Submit(std::string question, const core::AnswerOptions& options,
+                      Callback done) {
+  submitted_.Add(1);
+  KBQA_COUNTER_ADD("online.serve.submitted", 1);
+  Request request;
+  request.question = std::move(question);
+  request.options = options;
+  request.done = std::move(done);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  if (!request.options.deadline && options_.default_timeout) {
+    // The implicit budget starts now: time spent queued is spent budget,
+    // so a request that languishes is shed instead of served late.
+    request.options.deadline = request.enqueue_time + *options_.default_timeout;
+  }
+  request.charge_bytes = request.question.size() + sizeof(Request);
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      rejected_.Add(1);
+      KBQA_COUNTER_ADD("online.serve.rejected", 1);
+      return Status::Unavailable("server shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth ||
+        (options_.max_queue_bytes != 0 &&
+         queue_bytes_ + request.charge_bytes > options_.max_queue_bytes)) {
+      rejected_.Add(1);
+      KBQA_COUNTER_ADD("online.serve.rejected", 1);
+      return Status::Unavailable("serving queue full");
+    }
+    queue_bytes_ += request.charge_bytes;
+    queue_.push_back(std::move(request));
+    KBQA_GAUGE_SET("online.serve.queue_depth", queue_.size());
+  }
+  queue_cv_.NotifyOne();
+  return Status::Ok();
+}
+
+ServeResponse Server::Answer(const std::string& question,
+                             const core::AnswerOptions& options) {
+  struct Waiter {
+    Mutex mu;
+    CondVar cv;
+    bool ready = false;
+    ServeResponse response;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  Status admitted = Submit(question, options, [waiter](ServeResponse r) {
+    MutexLock lock(waiter->mu);
+    waiter->response = std::move(r);
+    waiter->ready = true;
+    waiter->cv.NotifyAll();
+  });
+  if (!admitted.ok()) {
+    ServeResponse response;
+    response.result.status = std::move(admitted);
+    return response;
+  }
+  MutexLock lock(waiter->mu);
+  while (!waiter->ready) waiter->cv.Wait(waiter->mu);
+  return std::move(waiter->response);
+}
+
+ServingStats Server::stats() const {
+  ServingStats stats;
+  stats.submitted = submitted_.Value();
+  stats.rejected = rejected_.Value();
+  stats.completed = completed_.Value();
+  stats.shed_expired = shed_expired_.Value();
+  stats.shed_shutdown = shed_shutdown_.Value();
+  stats.batches = batches_.Value();
+  {
+    MutexLock lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
+}
+
+void Server::CompleteShed(Request* request, Status status) {
+  ServeResponse response;
+  response.result.status = std::move(status);
+  response.queue_ns =
+      NanosBetween(request->enqueue_time, std::chrono::steady_clock::now());
+  request->done(std::move(response));
+}
+
+void Server::BatcherLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(mu_);
+      if (stopping_) break;
+      // Coalesce: close the batch at max_batch_size requests, or when the
+      // oldest has waited max_batch_wait — the classic size-or-time pair.
+      const auto close_at =
+          queue_.front().enqueue_time + options_.max_batch_wait;
+      while (!stopping_ && queue_.size() < options_.max_batch_size &&
+             std::chrono::steady_clock::now() < close_at) {
+        queue_cv_.WaitUntil(mu_, close_at);
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        queue_bytes_ -= queue_.front().charge_bytes;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      KBQA_GAUGE_SET("online.serve.queue_depth", queue_.size());
+    }
+    Dispatch(std::move(batch));
+  }
+  // Shutdown: complete whatever is still queued without serving it, so
+  // every accepted callback fires exactly once.
+  std::deque<Request> leftover;
+  {
+    MutexLock lock(mu_);
+    leftover.swap(queue_);
+    queue_bytes_ = 0;
+    KBQA_GAUGE_SET("online.serve.queue_depth", 0);
+  }
+  for (Request& request : leftover) {
+    shed_shutdown_.Add(1);
+    KBQA_COUNTER_ADD("online.serve.shed_shutdown", 1);
+    CompleteShed(&request, Status::Unavailable("server shutting down"));
+  }
+}
+
+void Server::Dispatch(std::vector<Request> batch) {
+  // Acquire an in-flight slot, shedding along the way: a request whose
+  // deadline lapses — whether it already lapsed in the queue or lapses
+  // while this batch stalls behind a saturated pool — never reaches the
+  // handler and never enters template matching. The slot wait is bounded
+  // by the earliest pending deadline so sheds happen when the deadline
+  // passes, not when the stall ends.
+  for (;;) {
+    // Shed pass. Outside mu_: the batch is private to the batcher thread
+    // here, and shed callbacks may re-enter Submit.
+    const auto now = std::chrono::steady_clock::now();
+    size_t kept = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Request& request = batch[i];
+      if (request.options.deadline && *request.options.deadline <= now) {
+        shed_expired_.Add(1);
+        KBQA_COUNTER_ADD("online.serve.shed_expired", 1);
+        CompleteShed(&request,
+                     Status::DeadlineExceeded("deadline expired in queue"));
+      } else {
+        if (kept != i) batch[kept] = std::move(request);
+        ++kept;
+      }
+    }
+    batch.resize(kept);
+    if (batch.empty()) return;
+
+    std::optional<std::chrono::steady_clock::time_point> earliest;
+    for (const Request& request : batch) {
+      if (request.options.deadline &&
+          (!earliest || *request.options.deadline < *earliest)) {
+        earliest = request.options.deadline;
+      }
+    }
+
+    // Bound the number of unfinished batches in the pool: past the cap,
+    // requests wait in the admission-controlled queue (visible to
+    // backpressure) instead of in an invisible pool backlog.
+    bool acquired = false;
+    {
+      MutexLock lock(mu_);
+      while (inflight_batches_ >= options_.max_inflight_batches) {
+        if (earliest.has_value()) {
+          // Timeout: a deadline lapsed while stalled — rerun the shed
+          // pass.
+          if (!inflight_cv_.WaitUntil(mu_, *earliest)) break;
+        } else {
+          inflight_cv_.Wait(mu_);
+        }
+      }
+      if (inflight_batches_ < options_.max_inflight_batches) {
+        ++inflight_batches_;
+        acquired = true;
+      }
+    }
+    if (acquired) break;
+  }
+
+  batches_.Add(1);
+  KBQA_COUNTER_ADD("online.serve.batches", 1);
+  KBQA_HISTOGRAM_RECORD("online.serve.batch_size", batch.size());
+
+  struct BatchState {
+    std::vector<Request> requests;
+    std::chrono::steady_clock::time_point dispatch_time;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->requests = std::move(batch);
+  state->dispatch_time = std::chrono::steady_clock::now();
+
+  const size_t num_shards =
+      std::min(state->requests.size(),
+               static_cast<size_t>(options_.num_workers));
+  pool_.Submit(
+      num_shards,
+      [this, state, num_shards](size_t shard) {
+        const ShardRange range =
+            ShardOf(state->requests.size(), shard, num_shards);
+        for (size_t i = range.begin; i < range.end; ++i) {
+          Request& request = state->requests[i];
+          const auto start = std::chrono::steady_clock::now();
+          ServeResponse response;
+          response.queue_ns =
+              NanosBetween(request.enqueue_time, state->dispatch_time);
+          response.batch_size = state->requests.size();
+          response.result = handler_(request.question, request.options);
+          response.service_ns =
+              NanosBetween(start, std::chrono::steady_clock::now());
+          completed_.Add(1);
+          KBQA_COUNTER_ADD("online.serve.completed", 1);
+          KBQA_HISTOGRAM_RECORD("online.serve.queue_wait_ns",
+                                response.queue_ns);
+          KBQA_HISTOGRAM_RECORD("online.serve.service_ns",
+                                response.service_ns);
+          KBQA_HISTOGRAM_RECORD("online.serve.latency_ns",
+                                response.queue_ns + response.service_ns);
+          request.done(std::move(response));
+        }
+      },
+      [this] {
+        {
+          MutexLock lock(mu_);
+          --inflight_batches_;
+        }
+        inflight_cv_.NotifyOne();
+      });
+}
+
+}  // namespace kbqa::serve

@@ -1,0 +1,181 @@
+#ifndef KBQA_SERVE_SERVER_H_
+#define KBQA_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/online.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace kbqa::serve {
+
+/// Knobs of the in-process serving front door. Defaults are a sane
+/// low-latency configuration; the load harness sweeps them.
+struct ServingOptions {
+  /// Answering worker threads (the batch-execution parallelism). The
+  /// batcher thread is separate and never answers questions itself.
+  int num_workers = 1;
+  /// Admission control: a Submit that would make the queue deeper than
+  /// this is rejected with kUnavailable (backpressure to the caller
+  /// instead of unbounded memory + doomed-to-expire latency).
+  size_t max_queue_depth = 1024;
+  /// Admission control on queued request payload bytes (question text +
+  /// per-request overhead). 0 = no byte limit.
+  uint64_t max_queue_bytes = 0;
+  /// The batcher closes a batch at this many requests...
+  size_t max_batch_size = 32;
+  /// ...or once the oldest queued request has waited this long, whichever
+  /// comes first. 0 means "never wait": every wakeup takes whatever is
+  /// queued right now.
+  std::chrono::microseconds max_batch_wait{200};
+  /// Applied at admission to requests that carry no deadline of their own:
+  /// deadline = arrival + default_timeout. Queue wait therefore counts
+  /// against the budget — a request that expires while queued is shed
+  /// without ever entering the answer pipeline. nullopt = no implicit
+  /// deadline.
+  std::optional<std::chrono::nanoseconds> default_timeout;
+  /// Batches allowed in flight in the worker pool at once; the batcher
+  /// stalls (leaving requests queued, where admission control sees them)
+  /// once this many are unfinished. 0 = num_workers.
+  size_t max_inflight_batches = 0;
+};
+
+/// The outcome of one served request, delivered to its callback.
+struct ServeResponse {
+  core::AnswerResult result;
+  /// Admission to batch dispatch (for shed requests: admission to shed).
+  uint64_t queue_ns = 0;
+  /// Dispatch to completion inside the worker (0 for shed requests).
+  uint64_t service_ns = 0;
+  /// Size of the coalesced batch this request rode in (0 if shed).
+  size_t batch_size = 0;
+};
+
+/// Point-in-time accounting. submitted == rejected + completed +
+/// shed_expired + shed_shutdown + (still queued or in flight).
+struct ServingStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;       // admission refusals (kUnavailable)
+  uint64_t completed = 0;      // went through the answer pipeline
+  uint64_t shed_expired = 0;   // deadline passed while queued
+  uint64_t shed_shutdown = 0;  // queued at destruction (kUnavailable)
+  uint64_t batches = 0;        // batches dispatched to the pool
+  uint64_t queue_depth = 0;    // current
+};
+
+/// In-process async serving front door over the KBQA online engine: a
+/// bounded MPMC request queue with admission control, a batcher that
+/// coalesces queued requests under (max_batch_size, max_batch_wait), and
+/// worker threads (util/thread_pool) that execute batches concurrently —
+/// the batcher dispatches batch k+1 while k is still running, via the
+/// pool's async Submit + completion notification.
+///
+/// Request lifecycle:
+///   Submit -> [bounded queue] -> batcher -> {shed if expired}
+///          -> worker pool -> handler(question, options) -> callback
+///
+/// The callback of every *accepted* request is invoked exactly once, on a
+/// worker thread (or on the batcher/destructor thread for shed requests).
+/// A rejected Submit returns kUnavailable and never invokes the callback.
+/// Destruction stops admission, sheds still-queued requests with
+/// kUnavailable, waits for in-flight batches, then joins all threads.
+///
+/// Thread safety: Submit/Answer/stats are safe from any thread.
+class Server {
+ public:
+  /// The unit of work a batch is made of. The engine adapter is
+  /// OnlineInference::AnswerCached; tests substitute instrumented or
+  /// deliberately slow handlers to pin down queueing behavior.
+  using Handler =
+      std::function<core::AnswerResult(const std::string& question,
+                                       const core::AnswerOptions& options)>;
+  using Callback = std::function<void(ServeResponse)>;
+
+  Server(Handler handler, const ServingOptions& options);
+  /// Fronts a trained online engine (which must outlive the server):
+  /// every request goes through AnswerCached, so the opt-in answer memo
+  /// and per-request deadlines compose with batching.
+  static std::unique_ptr<Server> ForEngine(
+      const core::OnlineInference* engine, const ServingOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Asynchronous entry point. Accepts the request into the queue and
+  /// returns Ok, or rejects with kUnavailable (queue past its depth/byte
+  /// bound, or server shutting down) without ever invoking `done`.
+  /// `options.deadline` (or ServingOptions::default_timeout) is measured
+  /// against wall time from this call on — queue wait spends the budget.
+  [[nodiscard]] Status Submit(std::string question,
+                              const core::AnswerOptions& options,
+                              Callback done);
+  [[nodiscard]] Status Submit(std::string question, Callback done) {
+    return Submit(std::move(question), core::AnswerOptions{},
+                  std::move(done));
+  }
+
+  /// Blocking convenience wrapper: Submit + wait. A rejection comes back
+  /// as a ServeResponse whose result.status is the kUnavailable status.
+  ServeResponse Answer(const std::string& question,
+                       const core::AnswerOptions& options = {});
+
+  ServingStats stats() const;
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string question;
+    core::AnswerOptions options;
+    Callback done;
+    std::chrono::steady_clock::time_point enqueue_time;
+    uint64_t charge_bytes = 0;
+  };
+
+  void BatcherLoop();
+  /// Completes a request without entering the pipeline (expired in queue
+  /// or shutdown shed).
+  static void CompleteShed(Request* request, Status status);
+  void Dispatch(std::vector<Request> batch);
+
+  const Handler handler_;
+  const ServingOptions options_;
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;     // batcher waits for arrivals / stop
+  CondVar inflight_cv_;  // batcher waits for an in-flight batch slot
+  std::deque<Request> queue_ GUARDED_BY(mu_);
+  uint64_t queue_bytes_ GUARDED_BY(mu_) = 0;
+  size_t inflight_batches_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+
+  // Per-instance accounting (sharded relaxed atomics; the global
+  // online.serve.* registry metrics mirror these when obs is enabled).
+  obs::ShardedCounter submitted_;
+  obs::ShardedCounter rejected_;
+  obs::ShardedCounter completed_;
+  obs::ShardedCounter shed_expired_;
+  obs::ShardedCounter shed_shutdown_;
+  obs::ShardedCounter batches_;
+
+  // Declared after every member its jobs and completion callbacks touch
+  // (handler_, mu_, inflight_cv_, the counters): ~pool_ drains in-flight
+  // batches, so it must run before those members are destroyed.
+  ThreadPool pool_;
+  std::thread batcher_;
+};
+
+}  // namespace kbqa::serve
+
+#endif  // KBQA_SERVE_SERVER_H_

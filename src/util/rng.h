@@ -2,6 +2,7 @@
 #define KBQA_UTIL_RNG_H_
 
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -111,6 +112,70 @@ class Rng {
 
   uint64_t s_[4];
 };
+
+/// Zipfian generator over ranks [0, n) with exponent `theta` (0 < theta,
+/// theta != 1 handled too): rank 0 is the most popular item. Uses the
+/// Gray et al. / YCSB closed-form inverse transform, so construction is
+/// O(n) (one zeta(n, theta) accumulation) and every Sample is O(1) — no
+/// per-sample CDF scan or binary search, which matters when a load
+/// generator draws a sample per simulated request. The same (n, theta,
+/// draw sequence) always yields the same ranks.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(size_t n, double theta)
+      : n_(n), theta_(theta), zeta_(Zeta(n, theta)) {
+    assert(n > 0);
+    assert(theta > 0);
+    assert(theta != 1.0);  // the closed form needs 1/(1-theta)
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zeta_);
+  }
+
+  /// Draws a rank in [0, n): rank 0 carries the most probability mass.
+  size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    const double uz = u * zeta_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const size_t rank = static_cast<size_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  size_t size() const { return n_; }
+
+  /// Generalized harmonic number H_{n,theta} = sum_{i=1..n} 1/i^theta.
+  static double Zeta(size_t n, double theta) {
+    double sum = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+ private:
+  size_t n_;
+  double theta_;
+  double zeta_;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+/// TPC-C's non-uniform random function (clause 2.1.6): composes two
+/// uniform draws with a bitwise OR and a run-constant offset `c`, yielding
+/// a skewed-but-spread distribution over [x, y] — the standard way a
+/// driven benchmark picks "hot" rows without a precomputed table.
+/// `a` must be one less than a power of two (255/1023/8191 in TPC-C).
+inline uint64_t NURand(Rng& rng, uint64_t a, uint64_t x, uint64_t y,
+                       uint64_t c) {
+  assert(x <= y);
+  const uint64_t range = y - x + 1;
+  const uint64_t lead = rng.Uniform(a + 1);
+  const uint64_t body = x + rng.Uniform(range);
+  return (((lead | body) + c) % range) + x;
+}
 
 }  // namespace kbqa
 

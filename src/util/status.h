@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable, human-readable name for a status code ("NotFound", ...).
@@ -75,6 +76,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

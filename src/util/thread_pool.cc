@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "util/mutex.h"
 
@@ -16,6 +18,9 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   {
     MutexLock lock(mu_);
+    // Drain before shutdown: Submit jobs may still be in flight (the
+    // serving teardown path), and their completion callbacks must run.
+    while (jobs_outstanding_ > 0) job_done_.Wait(mu_);
     shutdown_ = true;
   }
   work_ready_.NotifyAll();
@@ -23,43 +28,57 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_generation = 0;
   for (;;) {
+    std::shared_ptr<Job> job;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ &&
-             (job_ == nullptr || generation_ == seen_generation)) {
+      while (!shutdown_ && queue_.empty()) {
         work_ready_.Wait(mu_);
       }
+      // The destructor only sets shutdown_ once every job is done, so an
+      // empty queue here means nothing is left to drain.
       if (shutdown_) return;
-      seen_generation = generation_;
+      job = queue_.front();
     }
-    DrainShards();
+    DrainJob(job);
   }
 }
 
-void ThreadPool::DrainShards() {
+void ThreadPool::DrainJob(const std::shared_ptr<Job>& job) {
   for (;;) {
     size_t shard;
-    const std::function<void(size_t)>* job;
     {
       MutexLock lock(mu_);
-      if (job_ == nullptr || next_shard_ >= num_shards_) return;
-      shard = next_shard_++;
-      ++shards_in_flight_;
-      job = job_;
+      if (job->next_shard >= job->num_shards) return;
+      shard = job->next_shard++;
+      ++job->in_flight;
+      if (job->next_shard >= job->num_shards) {
+        // Last shard claimed: unqueue the job so other threads move on to
+        // the next one (it keeps running via this scope's shared_ptr).
+        auto it = std::find(queue_.begin(), queue_.end(), job);
+        if (it != queue_.end()) queue_.erase(it);
+      }
     }
     {
       KBQA_TRACE_SPAN("thread_pool.task");
-      (*job)(shard);
+      (*job->fn)(shard);
     }
     KBQA_COUNTER_ADD("thread_pool.tasks", 1);
+    bool last = false;
     {
       MutexLock lock(mu_);
-      --shards_in_flight_;
-      if (next_shard_ >= num_shards_ && shards_in_flight_ == 0) {
-        job_done_.NotifyAll();
+      --job->in_flight;
+      if (job->next_shard >= job->num_shards && job->in_flight == 0) {
+        job->done = true;
+        --jobs_outstanding_;
+        last = true;
       }
+    }
+    if (last) {
+      // Completion notification, outside the lock: the callback may take
+      // its own locks (the serving layer's in-flight accounting does).
+      if (job->on_done) job->on_done();
+      job_done_.NotifyAll();
     }
   }
 }
@@ -81,23 +100,52 @@ void ThreadPool::RunShards(size_t num_shards,
     KBQA_GAUGE_SET("thread_pool.queue_depth", 0);
     return;
   }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;  // Alive for the duration: this call blocks on the job.
+  job->num_shards = num_shards;
   {
     MutexLock lock(mu_);
-    job_ = &fn;
-    next_shard_ = 0;
-    num_shards_ = num_shards;
-    ++generation_;
+    ++jobs_outstanding_;
+    queue_.push_back(job);
   }
   work_ready_.NotifyAll();
-  DrainShards();  // The caller is a worker too.
+  DrainJob(job);  // The caller is a worker too.
   {
     MutexLock lock(mu_);
-    while (!(next_shard_ >= num_shards_ && shards_in_flight_ == 0)) {
-      job_done_.Wait(mu_);
-    }
-    job_ = nullptr;
+    while (!job->done) job_done_.Wait(mu_);
   }
   KBQA_GAUGE_SET("thread_pool.queue_depth", 0);
+}
+
+void ThreadPool::Submit(size_t num_shards, std::function<void(size_t)> fn,
+                        std::function<void()> on_done) {
+  if (num_shards == 0) {
+    if (on_done) on_done();
+    return;
+  }
+  KBQA_COUNTER_ADD("thread_pool.jobs", 1);
+  if (workers_.empty()) {
+    // No workers to hand off to: run the whole job (and its completion)
+    // inline so a 1-thread serving configuration still drains its queue.
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      KBQA_TRACE_SPAN("thread_pool.task");
+      fn(shard);
+    }
+    KBQA_COUNTER_ADD("thread_pool.tasks", num_shards);
+    if (on_done) on_done();
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->owned_fn = std::move(fn);
+  job->fn = &job->owned_fn;
+  job->on_done = std::move(on_done);
+  job->num_shards = num_shards;
+  {
+    MutexLock lock(mu_);
+    ++jobs_outstanding_;
+    queue_.push_back(job);
+  }
+  work_ready_.NotifyAll();
 }
 
 }  // namespace kbqa

@@ -3,6 +3,7 @@
 // sampling, and the runtime kill switch.
 
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -63,6 +64,63 @@ TEST(HistogramTest, CountSumAndQuantiles) {
   h->Reset();
   EXPECT_EQ(h->Count(), 0u);
   EXPECT_EQ(h->Sum(), 0u);
+}
+
+TEST(HistogramTest, ValueAtQuantileTracksExactReference) {
+  // Exact reference: 1..1024 uniform, so the true nearest-rank quantile
+  // is ceil(q * 1024). The interpolated estimate must land inside the
+  // covering power-of-two bucket (error < bucket width) and never be
+  // looser than ApproxQuantile's bucket-ceiling answer.
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("h");
+  for (uint64_t v = 1; v <= 1024; ++v) h->Record(v);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.histogram("h");
+  ASSERT_NE(entry, nullptr);
+  for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const uint64_t exact = static_cast<uint64_t>(
+        std::ceil(q * 1024.0));
+    const uint64_t estimate = entry->ValueAtQuantile(q);
+    const int bucket = obs::Histogram::BucketOf(exact);
+    const uint64_t lower =
+        bucket == 0 ? 0 : obs::Histogram::UpperBound(bucket - 1) + 1;
+    const uint64_t upper = obs::Histogram::UpperBound(bucket);
+    EXPECT_GE(estimate, lower) << "q=" << q;
+    EXPECT_LE(estimate, upper) << "q=" << q;
+    EXPECT_LE(estimate, entry->ApproxQuantile(q)) << "q=" << q;
+    const uint64_t width = upper - lower + 1;
+    const uint64_t error =
+        estimate > exact ? estimate - exact : exact - estimate;
+    EXPECT_LT(error, width) << "q=" << q;
+  }
+  // Within a bucket the uniform mass makes interpolation much tighter
+  // than the ceiling: the exact median 512 opens bucket [512, 1023], so
+  // the ceiling answer overshoots to 1023 while interpolation lands
+  // within a few counts of 512.
+  EXPECT_EQ(entry->ApproxQuantile(0.5), 1023u);
+  EXPECT_GE(entry->ValueAtQuantile(0.5), 512u);
+  EXPECT_LE(entry->ValueAtQuantile(0.5), 530u);
+}
+
+TEST(HistogramTest, ValueAtQuantileEdgeCases) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* zeros = registry.GetHistogram("zeros");
+  for (int i = 0; i < 10; ++i) zeros->Record(0);
+  obs::Histogram* point = registry.GetHistogram("point");
+  for (int i = 0; i < 10; ++i) point->Record(1);  // bucket [1,1]
+  obs::Histogram* huge = registry.GetHistogram("huge");
+  huge->Record(UINT64_MAX);
+  obs::Histogram* empty = registry.GetHistogram("empty");
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  // The zero bucket is a point mass at 0.
+  EXPECT_EQ(snap.histogram("zeros")->ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(snap.histogram("zeros")->ValueAtQuantile(1.0), 0u);
+  // A single-value bucket of width 1 interpolates to that value exactly.
+  EXPECT_EQ(snap.histogram("point")->ValueAtQuantile(0.5), 1u);
+  // The overflow bucket has no finite width: report its floor.
+  EXPECT_EQ(snap.histogram("huge")->ValueAtQuantile(0.99),
+            obs::Histogram::UpperBound(62) + 1);
+  EXPECT_EQ(snap.histogram("empty")->ValueAtQuantile(0.5), 0u);
 }
 
 // The tentpole determinism contract: a snapshot depends only on the set of

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <numeric>
 #include <string>
@@ -340,6 +342,51 @@ TEST_F(ParallelSystemTest, AnswerCacheMatchesUncachedAcrossBatches) {
   // With the memo disabled (the default), the books stay empty.
   EXPECT_EQ(kbqa.online().answer_cache_stats().entries, 0u);
   EXPECT_EQ(kbqa.online().answer_cache_stats().hits, 0u);
+}
+
+TEST_F(ParallelSystemTest, AnswerCacheKeyIsNormalizedAcrossSurfaceVariants) {
+  // The memo key is NormalizeText(question), so casing / whitespace /
+  // punctuation-spacing paraphrases of one canonical question must share
+  // a single cache entry — and, since they tokenize identically, a single
+  // identical answer.
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  core::OnlineInference::Options options = kbqa.options().online;
+  options.enable_answer_cache = true;
+  core::OnlineInference cached(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), options);
+
+  const std::string question = BenchmarkQuestions(1, 8080).front();
+  std::string upper = question;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  std::string spaced;
+  for (char c : question) {
+    spaced += c;
+    if (c == ' ') spaced += "  ";
+  }
+  const std::vector<std::string> variants = {
+      question, upper, "  " + question + "  ", spaced};
+  for (const std::string& variant : variants) {
+    ASSERT_EQ(nlp::NormalizeText(variant), nlp::NormalizeText(question))
+        << variant;
+  }
+
+  const core::AnswerResult reference = kbqa.Answer(question);
+  for (const std::string& variant : variants) {
+    const core::AnswerResult result =
+        cached.AnswerCached(variant, core::AnswerOptions{});
+    EXPECT_EQ(result.answered, reference.answered) << variant;
+    EXPECT_EQ(result.value, reference.value) << variant;
+    EXPECT_EQ(result.score, reference.score) << variant;
+    EXPECT_EQ(result.values, reference.values) << variant;
+  }
+  // One miss (the first variant computed), then every paraphrase hit the
+  // same normalized entry.
+  const core::ValueCacheStats stats = cached.answer_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, variants.size() - 1);
+  EXPECT_EQ(stats.entries, 1u);
 }
 
 TEST_F(ParallelSystemTest, AnswerCacheBudgetBoundsResidentBytes) {

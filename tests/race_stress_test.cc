@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 #include "obs/trace.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
+#include "serve/server.h"
 #include "util/lru_cache.h"
 #include "util/thread_pool.h"
 
@@ -325,6 +327,82 @@ TEST_F(RaceStressSystemTest, EngineShutdownImmediatelyAfterInFlightWork) {
     a.join();
     b.join();
     engine.reset();
+  }
+}
+
+// ---------- Serving front door ----------
+
+TEST(RaceStressTest, ServeHammerSubmittersAgainstBatcherAndTeardown) {
+  // Many submitter threads race the batcher, the worker pool, and an
+  // immediate teardown; the small queue forces the admission-control path
+  // concurrently with accepts. The invariant under all interleavings:
+  // every *accepted* request's callback runs exactly once (completed or
+  // shed at shutdown), every rejected one's never runs.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> callbacks{0};
+    {
+      serve::ServingOptions options;
+      options.num_workers = 3;
+      options.max_queue_depth = 64;
+      options.max_batch_size = 4;
+      options.max_batch_wait = std::chrono::microseconds(50);
+      serve::Server server(
+          [](const std::string& question, const core::AnswerOptions&) {
+            core::AnswerResult result;
+            result.answered = true;
+            result.value = question;
+            return result;
+          },
+          options);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < 200; ++i) {
+            const Status admitted = server.Submit(
+                "q", [&](serve::ServeResponse) { callbacks.fetch_add(1); });
+            if (admitted.ok()) accepted.fetch_add(1);
+          }
+        });
+      }
+      for (auto& th : submitters) th.join();
+      // ~Server tears down with batches still in flight and (likely)
+      // requests still queued.
+    }
+    ASSERT_EQ(callbacks.load(), accepted.load());
+  }
+}
+
+TEST_F(RaceStressSystemTest, ServeEngineAnswersUnderConcurrentLoadCycles) {
+  // Engine-backed serve loop: concurrent blocking callers through the
+  // batcher into a shared engine (answer cache on), with the server torn
+  // down and rebuilt every round so TSan sees the full construct/serve/
+  // destruct edge set against live engine state.
+  core::OnlineInference::Options options =
+      experiment().kbqa().options().online;
+  options.enable_answer_cache = true;
+  const auto engine = MakeEngine(options);
+  const std::vector<std::string> questions = BenchmarkQuestions(12, 555);
+  const std::vector<core::AnswerResult> reference =
+      engine->AnswerAll(questions, 1);
+  for (int round = 0; round < 5; ++round) {
+    serve::ServingOptions serving;
+    serving.num_workers = 3;
+    serving.max_batch_size = 4;
+    serving.max_batch_wait = std::chrono::microseconds(100);
+    const auto server = serve::Server::ForEngine(engine.get(), serving);
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 3; ++t) {
+      callers.emplace_back([&] {
+        for (size_t i = 0; i < questions.size(); ++i) {
+          serve::ServeResponse response = server->Answer(questions[i]);
+          ASSERT_TRUE(response.result.status.ok());
+          ASSERT_EQ(response.result.answered, reference[i].answered);
+          ASSERT_EQ(response.result.value, reference[i].value);
+        }
+      });
+    }
+    for (auto& th : callers) th.join();
   }
 }
 

@@ -223,6 +223,96 @@ TEST(RngTest, ZipfFavorsHead) {
   EXPECT_GT(head, n / 2);
 }
 
+/// Pearson chi-square statistic of observed counts against expected
+/// (same total mass, every expected bin positive).
+double ChiSquare(const std::vector<uint64_t>& observed,
+                 const std::vector<double>& expected) {
+  double chi2 = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    chi2 += diff * diff / expected[i];
+  }
+  return chi2;
+}
+
+TEST(RngTest, ZipfianGeneratorMatchesZipfPmfChiSquare) {
+  // The YCSB/Gray closed-form generator against the exact Zipf pmf
+  // p(i) = i^-theta / H_{n,theta}, at the generator's design scale: the
+  // inverse transform is an approximation whose per-rank bias is
+  // negligible for large n (measured chi2 tracks df at n=1000) but shows
+  // at toy sizes (n=20 rejects with enough draws). 1000 bins, 50K draws,
+  // fixed seed; the df=999 critical value at p=0.001 is ~1143. A uniform
+  // sampler scores ~200000 here, a wrong eta/alpha in the tens of
+  // thousands.
+  const size_t n = 1000;
+  const double theta = 0.99;
+  Rng rng(101);
+  ZipfianGenerator zipf(n, theta);
+  const size_t draws = 50000;
+  std::vector<uint64_t> observed(n, 0);
+  for (size_t i = 0; i < draws; ++i) {
+    const size_t rank = zipf.Sample(rng);
+    ASSERT_LT(rank, n);
+    ++observed[rank];
+  }
+  const double zeta = ZipfianGenerator::Zeta(n, theta);
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) {
+    expected[i] = static_cast<double>(draws) /
+                  (std::pow(static_cast<double>(i + 1), theta) * zeta);
+  }
+  EXPECT_LT(ChiSquare(observed, expected), 1143.0);
+  // Rank 0 carries the most mass and the head dominates the tail.
+  EXPECT_GT(observed[0], observed[n - 1] * 4);
+}
+
+TEST(RngTest, ZipfianGeneratorIsDeterministic) {
+  ZipfianGenerator zipf(1000, 0.99);
+  Rng a(7), b(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(zipf.Sample(a), zipf.Sample(b));
+  }
+}
+
+TEST(RngTest, NURandMatchesEnumeratedPmfChiSquare) {
+  // NURand(a=15, x=0, y=19, c=7) has an exactly enumerable pmf: 16 x 20
+  // equiprobable (lead, body) pairs folded through ((lead|body)+c)%20.
+  const uint64_t a = 15, x = 0, y = 19, c = 7;
+  const size_t range = y - x + 1;
+  std::vector<double> pmf(range, 0);
+  for (uint64_t lead = 0; lead <= a; ++lead) {
+    for (uint64_t body = x; body <= y; ++body) {
+      pmf[(((lead | body) + c) % range) + x] +=
+          1.0 / (static_cast<double>(a + 1) * static_cast<double>(range));
+    }
+  }
+  Rng rng(211);
+  const size_t draws = 60000;
+  std::vector<uint64_t> observed(range, 0);
+  for (size_t i = 0; i < draws; ++i) {
+    const uint64_t v = NURand(rng, a, x, y, c);
+    ASSERT_GE(v, x);
+    ASSERT_LE(v, y);
+    ++observed[v - x];
+  }
+  std::vector<double> expected(range);
+  for (size_t i = 0; i < range; ++i) {
+    expected[i] = pmf[i] * static_cast<double>(draws);
+    ASSERT_GT(expected[i], 0.0);
+  }
+  // df = 19, critical value at p=0.001 is 43.8.
+  EXPECT_LT(ChiSquare(observed, expected), 55.0);
+}
+
+TEST(RngTest, NURandStaysInRangeWithOffset) {
+  Rng rng(307);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = NURand(rng, 255, 100, 1099, 42);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 1099u);
+  }
+}
+
 // ---------- Distributions ----------
 
 TEST(DistributionsTest, ZipfSamplerMatchesHeadMass) {
