@@ -1,0 +1,289 @@
+// Memory-budget bench for the compressed expanded-KB substrate.
+//
+// Measures (1) compressed-vs-raw resident bytes of the expanded KB at full
+// residency and (2) the hit-rate / latency curve of the paged substrate as
+// the decoded-block budget sweeps 100% -> 5% of the compressed size, with
+// a Zipfian subject stream driving the decoded-block cache. At every swept
+// budget point the bench also re-answers a benchmark question set through
+// an engine wired to the paged substrate and demands bit-identical answers
+// against an engine running on the raw base-KB walk — compression and
+// paging change where the bytes live, never what the system says.
+//
+// Emits BENCH_memory.json (validated by scripts/validate_bench.py).
+// --smoke runs the Small experiment with a short stream for CI.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/kbqa_system.h"
+#include "core/online.h"
+#include "corpus/qa_corpus.h"
+#include "rdf/compressed_expanded.h"
+#include "rdf/expanded_predicate.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kbqa::bench {
+namespace {
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+struct Args {
+  bool smoke = false;
+  size_t lookups = 200000;
+  size_t block_edges = 4096;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strncmp(arg, "--lookups=", 10) == 0) {
+      args.lookups = static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--block-edges=", 14) == 0) {
+      args.block_edges =
+          static_cast<size_t>(std::strtoull(arg + 14, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_memory_budget [--smoke] [--lookups=N] "
+                   "[--block-edges=N]\n");
+      std::exit(2);
+    }
+  }
+  if (args.smoke) {
+    args.lookups = std::min<size_t>(args.lookups, 20000);
+    args.block_edges = std::min<size_t>(args.block_edges, 512);
+  }
+  return args;
+}
+
+/// One swept budget point: paged substrate driven by a Zipfian subject
+/// stream, then an engine-equality pass.
+struct SweepPoint {
+  double fraction = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t resident_bytes = 0;
+  double hit_rate = 0;
+  uint64_t evictions = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  double lookups_per_s = 0;
+  bool answers_identical = false;
+  size_t questions_compared = 0;
+};
+
+bool SameAnswer(const core::AnswerResult& a, const core::AnswerResult& b) {
+  if (a.answered != b.answered || a.value != b.value || a.score != b.score ||
+      a.predicate != b.predicate || a.sparql != b.sparql ||
+      a.values != b.values || a.ranked.size() != b.ranked.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].value != b.ranked[i].value ||
+        a.ranked[i].score != b.ranked[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("[mode] %s, %zu lookups/point, %zu edges/block\n",
+              args.smoke ? "smoke (Small world)" : "full (Standard world)",
+              args.lookups, args.block_edges);
+
+  auto experiment = [&] {
+    std::printf("[setup] building %s experiment...\n",
+                args.smoke ? "Small" : "Standard");
+    auto built = eval::Experiment::Build(args.smoke
+                                             ? eval::ExperimentConfig::Small()
+                                             : eval::ExperimentConfig::Standard());
+    if (!built.ok()) {
+      std::fprintf(stderr, "experiment build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(built).value();
+  }();
+  const corpus::World& world = experiment->world();
+  const core::KbqaSystem& kbqa = experiment->kbqa();
+  const rdf::ExpandedKb& ekb = kbqa.expanded_kb();
+
+  // ---- Full-residency compression ratio ----
+  const uint64_t raw_bytes = ekb.ApproxResidentBytes();
+  rdf::CompressedExpandedKb::Options copt;
+  copt.target_block_edges = args.block_edges;
+  auto compressed = rdf::CompressedExpandedKb::FromExpanded(ekb, copt);
+  Check(compressed.ok(), "FromExpanded failed");
+  const rdf::CompressedExpandedKb::MemoryStats full_stats =
+      compressed.value().memory_stats();
+  const double ratio = static_cast<double>(full_stats.ResidentBytes()) /
+                       static_cast<double>(raw_bytes);
+  std::printf(
+      "[compress] raw %.2f MiB -> resident %.2f MiB (payload %.2f MiB, "
+      "index %.2f MiB, paths %.2f MiB), ratio %.3f, %zu blocks, "
+      "%zu triples\n",
+      raw_bytes / 1048576.0, full_stats.ResidentBytes() / 1048576.0,
+      full_stats.compressed_bytes / 1048576.0,
+      full_stats.index_bytes / 1048576.0, full_stats.paths_bytes / 1048576.0,
+      ratio, compressed.value().num_blocks(),
+      compressed.value().num_triples());
+  Check(ratio <= 0.5,
+        "compressed substrate must be <= 50% of raw resident bytes");
+
+  // ---- Snapshot for the paged sweep ----
+  const std::string snapshot_path = "bench_memory_budget.cekb";
+  Check(compressed.value().Save(snapshot_path).ok(), "snapshot save failed");
+
+  // Question set + reference answers from an engine with no substrate
+  // (pure base-KB walks): the equality baseline for every budget point.
+  corpus::BenchmarkConfig bench_config;
+  bench_config.num_questions = args.smoke ? 40 : 120;
+  bench_config.seed = 4242;
+  std::vector<std::string> questions;
+  for (const corpus::QaPair& pair :
+       corpus::GenerateBenchmark(world, bench_config).questions.pairs) {
+    questions.push_back(pair.question);
+  }
+  core::OnlineInference::Options engine_options = kbqa.options().online;
+  core::OnlineInference baseline_engine(
+      &world.kb, &world.taxonomy, &kbqa.ner(), &kbqa.template_store(),
+      &ekb.paths(), engine_options);
+  std::vector<core::AnswerResult> reference;
+  reference.reserve(questions.size());
+  for (const std::string& q : questions) {
+    reference.push_back(baseline_engine.Answer(q));
+  }
+
+  const std::vector<rdf::TermId> subjects = ekb.Subjects();
+  Check(!subjects.empty(), "expansion produced no subjects");
+
+  const double fractions[] = {1.0, 0.5, 0.25, 0.10, 0.05};
+  std::vector<SweepPoint> sweep;
+  for (double fraction : fractions) {
+    rdf::CompressedExpandedKb::Options paged = copt;
+    paged.blocks_resident = false;
+    paged.decoded_cache_budget_bytes = static_cast<uint64_t>(
+        static_cast<double>(full_stats.compressed_bytes) * fraction) + 1;
+    auto opened = rdf::CompressedExpandedKb::Open(snapshot_path, paged);
+    Check(opened.ok(), "snapshot open failed");
+    const rdf::CompressedExpandedKb& cekb = opened.value();
+
+    // Zipfian subject stream (head-heavy, like serving traffic); every
+    // lookup's result is checked against the uncompressed substrate.
+    Rng rng(99);
+    ZipfianGenerator zipf(subjects.size(), 0.99);
+    LatencyReservoir latencies;
+    std::vector<std::pair<rdf::PathId, rdf::TermId>> run;
+    Timer wall;
+    for (size_t i = 0; i < args.lookups; ++i) {
+      const rdf::TermId s = subjects[zipf.Sample(rng)];
+      Timer op;
+      const bool found = cekb.CopyOut(s, &run);
+      latencies.Record(static_cast<uint64_t>(op.ElapsedSeconds() * 1e9));
+      Check(found, "materialized subject missing from paged substrate");
+      const auto expected = ekb.Out(s);
+      Check(run.size() == expected.size() &&
+                std::equal(run.begin(), run.end(), expected.begin()),
+            "paged lookup diverged from uncompressed substrate");
+    }
+    const double elapsed = wall.ElapsedSeconds();
+
+    // Engine equality at this budget point.
+    core::OnlineInference engine(&world.kb, &world.taxonomy, &kbqa.ner(),
+                                 &kbqa.template_store(), &ekb.paths(),
+                                 engine_options, &cekb);
+    bool identical = true;
+    for (size_t i = 0; i < questions.size(); ++i) {
+      if (!SameAnswer(engine.Answer(questions[i]), reference[i])) {
+        identical = false;
+        std::fprintf(stderr, "answer diverged at budget %.2f: %s\n", fraction,
+                     questions[i].c_str());
+      }
+    }
+    Check(identical, "engine answers must be bit-identical at every budget");
+
+    const rdf::CompressedExpandedKb::MemoryStats stats = cekb.memory_stats();
+    SweepPoint point;
+    point.fraction = fraction;
+    point.budget_bytes = paged.decoded_cache_budget_bytes;
+    point.resident_bytes = stats.ResidentBytes();
+    point.hit_rate = stats.hits + stats.misses == 0
+                         ? 0.0
+                         : static_cast<double>(stats.hits) /
+                               static_cast<double>(stats.hits + stats.misses);
+    point.evictions = stats.evictions;
+    point.p50_ns = latencies.ValueAtQuantile(0.50);
+    point.p99_ns = latencies.ValueAtQuantile(0.99);
+    point.lookups_per_s =
+        elapsed > 0 ? static_cast<double>(args.lookups) / elapsed : 0.0;
+    point.answers_identical = identical;
+    point.questions_compared = questions.size();
+    Check(stats.corrupt_blocks == 0, "corrupt blocks in a clean snapshot");
+    sweep.push_back(point);
+    std::printf(
+        "[sweep] budget %5.1f%% (%8.2f KiB): hit rate %.3f, p50 %6.1fus, "
+        "p99 %6.1fus, %.0f lookups/s, %" PRIu64 " evictions, resident "
+        "%.2f MiB\n",
+        fraction * 100.0, point.budget_bytes / 1024.0, point.hit_rate,
+        point.p50_ns / 1e3, point.p99_ns / 1e3, point.lookups_per_s,
+        point.evictions, point.resident_bytes / 1048576.0);
+  }
+  std::remove(snapshot_path.c_str());
+
+  // ---- JSON ----
+  std::FILE* out = std::fopen("BENCH_memory.json", "w");
+  Check(out != nullptr, "open BENCH_memory.json");
+  std::fprintf(out,
+               "{\n  \"config\": {\"smoke\": %s, \"lookups\": %zu, "
+               "\"block_edges\": %zu, \"zipf_s\": 0.99},\n"
+               "  \"raw_bytes\": %" PRIu64 ",\n"
+               "  \"full_residency\": {\"resident_bytes\": %" PRIu64
+               ", \"payload_bytes\": %" PRIu64 ", \"index_bytes\": %" PRIu64
+               ", \"paths_bytes\": %" PRIu64
+               ", \"ratio_vs_raw\": %.4f, \"num_blocks\": %zu, "
+               "\"num_triples\": %zu},\n"
+               "  \"sweep\": [\n",
+               args.smoke ? "true" : "false", args.lookups, args.block_edges,
+               raw_bytes, full_stats.ResidentBytes(),
+               full_stats.compressed_bytes, full_stats.index_bytes,
+               full_stats.paths_bytes, ratio, compressed.value().num_blocks(),
+               compressed.value().num_triples());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(out,
+                 "    {\"budget_fraction\": %.2f, \"budget_bytes\": %" PRIu64
+                 ", \"resident_bytes\": %" PRIu64
+                 ", \"hit_rate\": %.4f, \"evictions\": %" PRIu64
+                 ", \"p50_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+                 ", \"lookups_per_s\": %.1f, \"answers_identical\": %s, "
+                 "\"questions_compared\": %zu}%s\n",
+                 p.fraction, p.budget_bytes, p.resident_bytes, p.hit_rate,
+                 p.evictions, p.p50_ns, p.p99_ns, p.lookups_per_s,
+                 p.answers_identical ? "true" : "false",
+                 p.questions_compared, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[done] wrote BENCH_memory.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbqa::bench
+
+int main(int argc, char** argv) { return kbqa::bench::Run(argc, argv); }

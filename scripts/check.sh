@@ -11,6 +11,11 @@
 #                             # build bench_serving, run a short low-QPS
 #                             # open-loop pass (--smoke), and validate the
 #                             # BENCH_serving.json schema
+#   scripts/check.sh --mem-smoke
+#                             # build bench_memory_budget, run the Small
+#                             # world sweep (--smoke: compression ratio +
+#                             # paged budget curve + engine bit-identity),
+#                             # and validate the BENCH_memory.json schema
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -54,7 +59,16 @@ run_serve_smoke() {
   cmake --build build -j "$JOBS" --target bench_serving
   (cd build && ./bench/bench_serving --smoke)
   echo "== BENCH_serving.json schema =="
-  python3 scripts/validate_bench_serving.py build/BENCH_serving.json
+  python3 scripts/validate_bench.py build/BENCH_serving.json
+}
+
+run_mem_smoke() {
+  echo "== memory-budget smoke (bench_memory_budget --smoke) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_memory_budget
+  (cd build && ./bench/bench_memory_budget --smoke)
+  echo "== BENCH_memory.json schema =="
+  python3 scripts/validate_bench.py build/BENCH_memory.json
 }
 
 case "${1:-}" in
@@ -65,6 +79,10 @@ case "${1:-}" in
   --serve-smoke)
     run_serve_smoke
     echo "== OK (serve smoke) =="
+    ;;
+  --mem-smoke)
+    run_mem_smoke
+    echo "== OK (mem smoke) =="
     ;;
   --tsan)
     run_tsan
@@ -82,7 +100,7 @@ case "${1:-}" in
     echo "== OK =="
     ;;
   *)
-    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke]" >&2
+    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke]" >&2
     exit 2
     ;;
 esac

@@ -136,22 +136,35 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
                                  const nlp::GazetteerNer* ner,
                                  const TemplateStore* store,
                                  const rdf::PathDictionary* paths,
-                                 const Options& options)
+                                 const Options& options,
+                                 const rdf::CompressedExpandedKb* cekb)
     : kb_(kb),
       taxonomy_(taxonomy),
       ner_(ner),
       store_(store),
       paths_(paths),
+      cekb_(cekb),
       options_(options),
       value_cache_(options.value_cache_budget_bytes),
       answer_cache_(options.answer_cache_budget_bytes) {}
+
+void OnlineInference::LookupValues(rdf::TermId entity, rdf::PathId path,
+                                   std::vector<rdf::TermId>* scratch) const {
+  // Both sources produce the same sorted-unique value set: the substrate
+  // materializes exactly the BFS closure ObjectsViaPath walks, so the only
+  // difference is decode-a-block vs re-walk-the-KB. TryObjects returns
+  // false (entity outside the materialized seed set, or a paged block that
+  // went bad underneath us) -> online walk.
+  if (cekb_ != nullptr && cekb_->TryObjects(entity, path, scratch)) return;
+  *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+}
 
 const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
     CacheTally* tally) const {
   KBQA_TRACE_SPAN_SAMPLED("answer.value_lookup");
   if (!options_.enable_value_cache) {
-    *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+    LookupValues(entity, path, scratch);
     return *scratch;
   }
   const uint64_t key = CacheKey(entity, path);
@@ -160,7 +173,7 @@ const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     return *scratch;
   }
   ++tally->misses;
-  *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+  LookupValues(entity, path, scratch);
   // Insert copies the value set; concurrent misses on the same key both
   // computed identical vectors from the immutable KB, and the cache keeps
   // whichever landed first.

@@ -10,6 +10,7 @@
 #include "core/template_store.h"
 #include "nlp/ner.h"
 #include "obs/metrics.h"
+#include "rdf/compressed_expanded.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
 #include "taxonomy/taxonomy.h"
@@ -130,11 +131,20 @@ class OnlineInference {
     uint64_t answer_cache_budget_bytes = 0;
   };
 
-  /// All references must outlive the inference engine.
+  /// All references must outlive the inference engine. `cekb` (optional)
+  /// is the block-compressed expanded-KB substrate: when non-null and it
+  /// materializes the queried (entity, path), value-cache misses decode
+  /// from it instead of re-walking the base KB. Lookups on entities outside
+  /// the materialized seed set fall back to the online walk, so answers are
+  /// bit-identical with or without it — the substrate only changes where
+  /// the bytes live. Its PathIds must come from the same dictionary as
+  /// `paths` (KbqaSystem wires it only on the Train path, where both are
+  /// the expansion's dictionary).
   OnlineInference(const rdf::KnowledgeBase* kb,
                   const taxonomy::Taxonomy* taxonomy,
                   const nlp::GazetteerNer* ner, const TemplateStore* store,
-                  const rdf::PathDictionary* paths, const Options& options);
+                  const rdf::PathDictionary* paths, const Options& options,
+                  const rdf::CompressedExpandedKb* cekb = nullptr);
 
   /// Answers a binary factoid question.
   AnswerResult Answer(const std::string& question) const;
@@ -209,11 +219,18 @@ class OnlineInference {
   void FlushAnswerStats(const AnswerResult* result,
                         const CacheTally& tally) const;
 
+  /// V(e, p+) without the memo cache: decode from the compressed substrate
+  /// when it materializes the pair, else walk the base KB. Result lands in
+  /// `*scratch`.
+  void LookupValues(rdf::TermId entity, rdf::PathId path,
+                    std::vector<rdf::TermId>* scratch) const;
+
   const rdf::KnowledgeBase* kb_;
   const taxonomy::Taxonomy* taxonomy_;
   const nlp::GazetteerNer* ner_;
   const TemplateStore* store_;
   const rdf::PathDictionary* paths_;
+  const rdf::CompressedExpandedKb* cekb_;
   Options options_;
 
   /// Key: entity in the high 32 bits, path in the low 32.

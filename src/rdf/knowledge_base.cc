@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <tuple>
+#include <utility>
 
 #include "obs/obs.h"
+#include "util/coding.h"
 #include "util/thread_pool.h"
 
 namespace kbqa::rdf {
@@ -14,6 +17,7 @@ namespace {
 
 constexpr uint64_t kMagicV1 = 0x4b42514152444631ULL;  // "KBQARDF1"
 constexpr uint64_t kMagicV2 = 0x4b42514152444632ULL;  // "KBQARDF2"
+constexpr uint64_t kMagicV3 = 0x4b42514152444633ULL;  // "KBQARDF3"
 
 // Sanity caps for snapshot headers: reject sizes no plausible snapshot
 // reaches before attempting a huge allocation on a corrupt file.
@@ -397,13 +401,170 @@ bool ValidCsr(const std::vector<uint64_t>& offsets,
   return true;
 }
 
+// ---- Snapshot v3: compressed sections (util/coding.h codecs) ----
+//
+// Layout: u64 magic, then four framed sections, each
+// [u64 byte_len][encoded bytes][u64 FNV-1a checksum]:
+//   1. node dictionary   — varint count + front-coded strings + bit-packed
+//                          is_literal flags (1 bit per node)
+//   2. pred dictionary   — varint count + front-coded strings + varint
+//                          name-predicate id
+//   3. out CSR           — delta-varint offsets + per-node edge runs
+//   4. in CSR            — same encoding
+// Per-node edge runs exploit the (p, o)-sorted order: the first edge is
+// (varint p, varint o); each following edge stores varint Δp, then — when
+// Δp is 0 — varint Δo (objects strictly increase within a predicate),
+// otherwise the absolute varint o.
+
+void WriteSection(BinaryWriter& w, const std::string& enc) {
+  w.WriteU64(enc.size());
+  w.WriteBytes(enc.data(), enc.size());
+  w.WriteU64(util::Fnv1a64(enc.data(), enc.size()));
+}
+
+/// Reads one framed section. `remaining_file_bytes` bounds the length
+/// header before the buffer is sized from it, so a corrupt length yields a
+/// clean failure instead of a giant allocation.
+bool ReadSection(BinaryReader& r, uint64_t remaining_file_bytes,
+                 std::string* enc) {
+  const uint64_t len = r.ReadU64();
+  // The first comparison bounds `len` by the (small) file size, so the
+  // second cannot wrap around.
+  if (!r.ok() || len > remaining_file_bytes ||
+      len + 16 > remaining_file_bytes) {
+    return false;
+  }
+  enc->resize(len);
+  r.ReadBytes(enc->data(), len);
+  if (!r.ok()) return false;
+  const uint64_t checksum = r.ReadU64();
+  return r.ok() && checksum == util::Fnv1a64(enc->data(), enc->size());
+}
+
+void AppendDictionary(std::string* enc, const Dictionary& dict) {
+  util::PutVarint64(enc, dict.size());
+  std::string_view prev;
+  for (size_t i = 0; i < dict.size(); ++i) {
+    const std::string& s = dict.GetString(static_cast<TermId>(i));
+    util::AppendFrontCoded(enc, prev, s);
+    prev = s;
+  }
+}
+
+bool DecodeDictionary(const uint8_t** p, const uint8_t* limit,
+                      Dictionary* dict) {
+  uint64_t n = 0;
+  const uint8_t* q = util::GetVarint64(*p, limit, &n);
+  if (q == nullptr || n > kMaxCount) return false;
+  dict->Reserve(n);
+  std::string prev;
+  std::string cur;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!util::DecodeFrontCoded(&q, limit, prev, &cur)) return false;
+    if (dict->Intern(cur) != static_cast<TermId>(i)) return false;
+    std::swap(prev, cur);
+  }
+  *p = q;
+  return true;
+}
+
+std::string EncodeCsr(const std::vector<uint64_t>& offsets,
+                      const std::vector<PredicateObject>& edges) {
+  std::string enc;
+  util::AppendDeltaRun64(&enc, offsets.data(), offsets.size());
+  const size_t num_nodes = offsets.empty() ? 0 : offsets.size() - 1;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    for (uint64_t i = offsets[node]; i < offsets[node + 1]; ++i) {
+      const PredicateObject& e = edges[i];
+      if (i == offsets[node]) {
+        util::PutVarint32(&enc, e.p);
+        util::PutVarint32(&enc, e.o);
+        continue;
+      }
+      const PredicateObject& prev = edges[i - 1];
+      util::PutVarint32(&enc, e.p - prev.p);
+      util::PutVarint32(&enc, e.p == prev.p ? e.o - prev.o : e.o);
+    }
+  }
+  return enc;
+}
+
+/// Decodes an EncodeCsr section into the exact in-memory CSR arrays the
+/// v2 reader produces. Structural validation (sortedness, id ranges) is
+/// left to ValidCsr, which runs on both load paths.
+bool DecodeCsr(const uint8_t* p, const uint8_t* limit, size_t num_nodes,
+               std::vector<uint64_t>* offsets,
+               std::vector<PredicateObject>* edges) {
+  offsets->clear();
+  if (!util::DecodeDeltaRun64(&p, limit, offsets)) return false;
+  if (offsets->size() != num_nodes + 1 || (*offsets)[0] != 0) return false;
+  const uint64_t num_edges = offsets->back();
+  // Every edge is at least two varint bytes; gate before reserving.
+  if (num_edges > kMaxCount ||
+      num_edges * 2 > static_cast<uint64_t>(limit - p)) {
+    return false;
+  }
+  edges->clear();
+  edges->reserve(num_edges);
+  for (size_t node = 0; node < num_nodes; ++node) {
+    const uint64_t count = (*offsets)[node + 1] - (*offsets)[node];
+    PredicateObject prev{0, 0};
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t first = 0, second = 0;
+      p = util::GetVarint32(p, limit, &first);
+      if (p == nullptr) return false;
+      p = util::GetVarint32(p, limit, &second);
+      if (p == nullptr) return false;
+      PredicateObject e{0, 0};
+      if (i == 0) {
+        e = PredicateObject{first, second};
+      } else if (first == 0) {
+        e = PredicateObject{prev.p, prev.o + second};
+      } else {
+        e = PredicateObject{prev.p + first, second};
+      }
+      edges->push_back(e);
+      prev = e;
+    }
+  }
+  return p == limit;  // trailing garbage is corruption too
+}
+
 }  // namespace
 
-Status KnowledgeBase::Save(const std::string& path) const {
+Status KnowledgeBase::Save(const std::string& path, int format_version) const {
   if (!frozen_) return Status::FailedPrecondition("Save requires Freeze()");
+  if (format_version != 2 && format_version != 3) {
+    return Status::InvalidArgument("unsupported snapshot format version");
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
   BinaryWriter w(f);
+
+  if (format_version == 3) {
+    w.WriteU64(kMagicV3);
+
+    std::string nodes_enc;
+    AppendDictionary(&nodes_enc, nodes_);
+    std::vector<uint32_t> kind_bits(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) kind_bits[i] = is_literal_[i];
+    util::AppendBitPacked(&nodes_enc, kind_bits.data(), kind_bits.size(),
+                          /*bits=*/1);
+    WriteSection(w, nodes_enc);
+
+    std::string preds_enc;
+    AppendDictionary(&preds_enc, predicates_);
+    util::PutVarint64(&preds_enc, name_predicate_);
+    WriteSection(w, preds_enc);
+
+    WriteSection(w, EncodeCsr(out_offsets_, out_edges_));
+    WriteSection(w, EncodeCsr(in_offsets_, in_edges_));
+
+    bool ok = w.ok();
+    if (std::fclose(f) != 0) ok = false;
+    return ok ? Status::Ok() : Status::IoError("short write: " + path);
+  }
+
   w.WriteU64(kMagicV2);
 
   WriteDictionary(w, nodes_);
@@ -444,7 +605,88 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
         "unsupported snapshot format version 1 (pre-CSR); re-export the KB "
         "and Save() it with this build");
   }
-  if (magic != kMagicV2) return fail("bad magic");
+  if (magic != kMagicV2 && magic != kMagicV3) return fail("bad magic");
+
+  if (magic == kMagicV3) {
+    // Total file size gates every section length header before a buffer is
+    // sized from it.
+    if (std::fseek(f, 0, SEEK_END) != 0) return fail("unseekable snapshot");
+    const long file_end = std::ftell(f);
+    if (file_end < 8 || std::fseek(f, 8, SEEK_SET) != 0) {
+      return fail("unseekable snapshot");
+    }
+    uint64_t remaining = static_cast<uint64_t>(file_end) - 8;
+    std::string enc;
+    auto section_bytes = [&enc] {
+      return std::pair<const uint8_t*, const uint8_t*>(
+          reinterpret_cast<const uint8_t*>(enc.data()),
+          reinterpret_cast<const uint8_t*>(enc.data()) + enc.size());
+    };
+
+    if (!ReadSection(r, remaining, &enc)) return fail("bad node section");
+    remaining -= enc.size() + 16;
+    auto [p, limit] = section_bytes();
+    if (!DecodeDictionary(&p, limit, &kb.nodes_)) {
+      return fail("bad node dictionary");
+    }
+    const size_t num_nodes = kb.nodes_.size();
+    std::vector<uint32_t> kind_bits;
+    if (!util::DecodeBitPacked(&p, limit, num_nodes, /*bits=*/1,
+                               &kind_bits) ||
+        p != limit) {
+      return fail("bad node kind flags");
+    }
+    kb.is_literal_.resize(num_nodes);
+    kb.num_entities_ = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      kb.is_literal_[i] = kind_bits[i] != 0;
+      if (kind_bits[i] == 0) ++kb.num_entities_;
+    }
+
+    if (!ReadSection(r, remaining, &enc)) return fail("bad predicate section");
+    remaining -= enc.size() + 16;
+    std::tie(p, limit) = section_bytes();
+    if (!DecodeDictionary(&p, limit, &kb.predicates_)) {
+      return fail("bad predicate dictionary");
+    }
+    uint64_t name_pred = 0;
+    p = util::GetVarint64(p, limit, &name_pred);
+    if (p == nullptr || p != limit) return fail("bad name predicate");
+    if (name_pred != kInvalidPred && name_pred >= kb.predicates_.size()) {
+      return fail("name predicate out of range");
+    }
+
+    if (!ReadSection(r, remaining, &enc)) return fail("bad out CSR section");
+    remaining -= enc.size() + 16;
+    std::tie(p, limit) = section_bytes();
+    if (!DecodeCsr(p, limit, num_nodes, &kb.out_offsets_, &kb.out_edges_)) {
+      return fail("bad out CSR block");
+    }
+    if (!ValidCsr(kb.out_offsets_, kb.out_edges_, kb.is_literal_,
+                  kb.predicates_.size(), /*anchor_is_subject=*/true)) {
+      return fail("invalid out CSR");
+    }
+
+    if (!ReadSection(r, remaining, &enc)) return fail("bad in CSR section");
+    std::tie(p, limit) = section_bytes();
+    if (!DecodeCsr(p, limit, num_nodes, &kb.in_offsets_, &kb.in_edges_)) {
+      return fail("bad in CSR block");
+    }
+    if (!ValidCsr(kb.in_offsets_, kb.in_edges_, kb.is_literal_,
+                  kb.predicates_.size(), /*anchor_is_subject=*/false)) {
+      return fail("invalid in CSR");
+    }
+    if (kb.in_edges_.size() != kb.out_edges_.size()) {
+      return fail("CSR direction size mismatch");
+    }
+    std::fclose(f);
+
+    kb.name_predicate_ = static_cast<PredId>(name_pred);
+    kb.num_triples_ = kb.out_edges_.size();
+    kb.frozen_ = true;
+    kb.BuildNameIndex();
+    return kb;
+  }
 
   if (!ReadDictionary(r, &kb.nodes_)) return fail("bad node dictionary");
   const size_t num_nodes = kb.nodes_.size();

@@ -1,6 +1,7 @@
 #ifndef KBQA_UTIL_LRU_CACHE_H_
 #define KBQA_UTIL_LRU_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -20,11 +21,22 @@ namespace kbqa {
 /// up to a power of two), each guarded by its own mutex and holding its own
 /// recency list, so concurrent lookups on different shards never contend.
 /// Every entry is byte-accounted as `sizeof(Key) + payload_bytes` (the
-/// caller states the payload size at insert time); a shard evicts from its
-/// LRU tail until it is back under its slice of the budget, so the summed
-/// accounting across shards never exceeds `budget_bytes`. A budget of 0
-/// means unbounded: nothing is ever evicted and the cache degenerates to a
+/// caller states the payload size at insert time).
+///
+/// The budget is enforced *globally*, not per shard: an atomic byte total
+/// is reserved before an entry is admitted, and when the reservation does
+/// not fit the inserter evicts LRU tails starting from its own shard and
+/// borrowing round-robin from siblings. A key-skewed workload can therefore
+/// fill the entire budget from one hot shard instead of thrashing that
+/// shard's 1/N slice while the others sit empty. Eviction order is LRU
+/// within a shard and approximately LRU across shards. A budget of 0 means
+/// unbounded: nothing is ever evicted and the cache degenerates to a
 /// sharded memo table.
+///
+/// Accounting invariant: shard byte counters are only incremented after a
+/// successful global reservation and decremented before the global counter
+/// is released, so `GetStats().bytes <= budget_bytes()` holds at every
+/// instant, including mid-insert under concurrency.
 ///
 /// Lookups are copy-out: `Get` copies the stored value into the caller's
 /// buffer under the shard lock. Returning references would pin entries
@@ -32,7 +44,8 @@ namespace kbqa {
 /// trivial and the eviction policy exact. Values are expected to be small
 /// (e.g. the per-(entity, path) value vectors of the online engine).
 ///
-/// Thread safety: all methods are safe to call concurrently.
+/// Thread safety: all methods are safe to call concurrently. Eviction
+/// never holds two shard locks at once, so borrowing cannot deadlock.
 template <typename Key, typename Value>
 class ShardedLruCache {
  public:
@@ -49,7 +62,6 @@ class ShardedLruCache {
     size_t shards = 1;
     while (shards < num_shards) shards <<= 1;
     shards_ = std::vector<Shard>(shards);
-    shard_budget_ = budget_bytes == 0 ? 0 : budget_bytes / shards;
   }
 
   /// Copies the value for `key` into `*out` and promotes the entry to
@@ -66,28 +78,44 @@ class ShardedLruCache {
   }
 
   /// Inserts `value` under `key`, charging `sizeof(Key) + payload_bytes`
-  /// against the budget and evicting least-recently-used entries of the
-  /// shard as needed; returns how many entries were evicted. If the key is
-  /// already present the existing entry is kept (two racing computations
-  /// of the same key produce equal values) and only promoted. An entry
-  /// whose charge alone exceeds the shard budget is not cached at all —
-  /// admitting it would purge the whole shard for a value too big to keep.
+  /// against the global budget and evicting least-recently-used entries —
+  /// from this key's shard first, then borrowing from sibling shards — as
+  /// needed; returns how many entries were evicted. If the key is already
+  /// present the existing entry is kept (two racing computations of the
+  /// same key produce equal values) and only promoted. An entry whose
+  /// charge alone exceeds the whole budget is not cached at all.
   uint64_t Insert(const Key& key, Value value, uint64_t payload_bytes) {
     const uint64_t charge = sizeof(Key) + payload_bytes;
-    Shard& shard = ShardFor(key);
+    const size_t home = ShardIndexFor(key);
+    uint64_t evicted = 0;
+    if (budget_bytes_ != 0) {
+      if (charge > budget_bytes_) return 0;
+      // Reserve the charge against the global total before touching the
+      // shard. Every pass either wins the CAS, evicts a victim, or learns
+      // the budget is fully held by in-flight reservations and gives up
+      // (a cache insert is best-effort).
+      while (true) {
+        uint64_t current = total_bytes_.load(std::memory_order_relaxed);
+        if (current + charge <= budget_bytes_) {
+          if (total_bytes_.compare_exchange_weak(
+                  current, current + charge, std::memory_order_relaxed)) {
+            break;
+          }
+          continue;  // lost the race; re-read
+        }
+        if (!EvictOne(home)) return evicted;
+        ++evicted;
+      }
+    }
+    Shard& shard = shards_[home];
     MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return 0;
-    }
-    uint64_t evicted = 0;
-    if (shard_budget_ != 0) {
-      if (charge > shard_budget_) return 0;
-      while (shard.bytes + charge > shard_budget_ && !shard.lru.empty()) {
-        EvictTail(&shard);
-        ++evicted;
+      if (budget_bytes_ != 0) {
+        total_bytes_.fetch_sub(charge, std::memory_order_relaxed);
       }
+      return evicted;
     }
     shard.lru.push_front(Entry{key, std::move(value), charge});
     shard.index.emplace(key, shard.lru.begin());
@@ -129,26 +157,43 @@ class ShardedLruCache {
     uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
-  Shard& ShardFor(const Key& key) {
+  size_t ShardIndexFor(const Key& key) const {
     // std::hash of an integer key is commonly the identity; mix so shard
     // selection doesn't alias with any structure in the key encoding.
     uint64_t h = static_cast<uint64_t>(std::hash<Key>{}(key));
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdULL;
     h ^= h >> 33;
-    return shards_[h & (shards_.size() - 1)];
+    return static_cast<size_t>(h & (shards_.size() - 1));
   }
 
-  static void EvictTail(Shard* shard) REQUIRES(shard->mu) {
-    Entry& victim = shard->lru.back();
-    shard->bytes -= victim.charge;
-    shard->index.erase(victim.key);
-    shard->lru.pop_back();
-    ++shard->evictions;
+  Shard& ShardFor(const Key& key) { return shards_[ShardIndexFor(key)]; }
+
+  /// Evicts one LRU tail, preferring `home` and then borrowing round-robin
+  /// from sibling shards, taking one shard lock at a time. Returns false
+  /// when every shard is empty (nothing left to evict).
+  bool EvictOne(size_t home) {
+    const size_t n = shards_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Shard& shard = shards_[(home + i) & (n - 1)];
+      MutexLock lock(shard.mu);
+      if (shard.lru.empty()) continue;
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      const uint64_t charge = victim.charge;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      total_bytes_.fetch_sub(charge, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   uint64_t budget_bytes_ = 0;
-  uint64_t shard_budget_ = 0;  // budget_bytes_ / num_shards, 0 = unbounded
+  /// Bytes reserved against the budget: committed shard bytes plus any
+  /// in-flight insert reservations. Always >= GetStats().bytes.
+  std::atomic<uint64_t> total_bytes_{0};
   std::vector<Shard> shards_;
 };
 

@@ -123,6 +123,90 @@ TEST(ShardedLruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(one.num_shards(), 1u);
 }
 
+// Regression for the per-shard budget split: when every key hashes to the
+// same shard, the cache must still be able to fill the WHOLE budget from
+// that one shard (global accounting / shard borrowing) instead of
+// thrashing its 1/N slice while sibling shards sit empty.
+TEST(ShardedLruCacheTest, SkewedKeysUseWholeBudgetNotOneShardSlice) {
+  const size_t kShards = 16;
+  const uint64_t charge = ChargeOf(4);
+  const uint64_t budget = 64 * charge;  // room for 64 entries globally
+  Cache cache(budget, kShards);
+
+  // Replicate the cache's shard mix to mine keys that all land in shard 0.
+  auto shard_of = [&](uint64_t key) {
+    uint64_t h = static_cast<uint64_t>(std::hash<uint64_t>{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h & (kShards - 1);
+  };
+  std::vector<uint64_t> skewed;
+  for (uint64_t key = 0; skewed.size() < 64; ++key) {
+    if (shard_of(key) == 0) skewed.push_back(key);
+  }
+
+  for (uint64_t key : skewed) {
+    cache.Insert(key, PayloadFor(key, 4), 4 * sizeof(uint32_t));
+  }
+
+  // With the old budget/num_shards split only 4 of these 64 entries could
+  // be resident; with global accounting all 64 fit and none were evicted.
+  const Cache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 64u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.bytes, budget);
+  std::vector<uint32_t> out;
+  for (uint64_t key : skewed) {
+    EXPECT_TRUE(cache.Get(key, &out)) << key;
+  }
+
+  // One more skewed insert must evict exactly the LRU entry, keeping the
+  // total pinned at the budget.
+  for (uint64_t key = skewed.back() + 1;; ++key) {
+    if (shard_of(key) != 0) continue;
+    EXPECT_EQ(cache.Insert(key, PayloadFor(key, 4), 4 * sizeof(uint32_t)),
+              1u);
+    break;
+  }
+  EXPECT_EQ(cache.GetStats().bytes, budget);
+  EXPECT_FALSE(cache.Get(skewed.front(), &out));  // LRU victim
+}
+
+// Borrowing: a hot shard that needs room may evict from a cold sibling
+// when its own list is empty, instead of failing the insert.
+TEST(ShardedLruCacheTest, BorrowsFromSiblingShardWhenOwnShardEmpty) {
+  const size_t kShards = 4;
+  const uint64_t charge = ChargeOf(4);
+  Cache cache(2 * charge, kShards);
+  auto shard_of = [&](uint64_t key) {
+    uint64_t h = static_cast<uint64_t>(std::hash<uint64_t>{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h & (kShards - 1);
+  };
+  // Fill the budget entirely from one shard...
+  uint64_t shard_a = 0;
+  while (shard_of(shard_a) != 0) ++shard_a;
+  uint64_t shard_a2 = shard_a + 1;
+  while (shard_of(shard_a2) != 0) ++shard_a2;
+  cache.Insert(shard_a, PayloadFor(shard_a, 4), 4 * sizeof(uint32_t));
+  cache.Insert(shard_a2, PayloadFor(shard_a2, 4), 4 * sizeof(uint32_t));
+  ASSERT_EQ(cache.GetStats().bytes, 2 * charge);
+
+  // ...then insert into a different, empty shard: it must borrow (evict
+  // from shard 0) rather than give up or blow the budget.
+  uint64_t other = 0;
+  while (shard_of(other) != 1) ++other;
+  EXPECT_EQ(cache.Insert(other, PayloadFor(other, 4), 4 * sizeof(uint32_t)),
+            1u);
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(cache.Get(other, &out));
+  EXPECT_EQ(cache.GetStats().bytes, 2 * charge);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
 // Multi-threaded stress: concurrent Get/Insert over a keyspace several
 // times the budget. Run under the ASAN=ON configuration this doubles as a
 // data-race / lifetime check on the shard books; value integrity is

@@ -251,7 +251,9 @@ TEST_F(ToyKbTest, LoadRejectsTruncatedSnapshot) {
 
 TEST_F(ToyKbTest, LoadRejectsCorruptCsrOffsets) {
   std::string path = ::testing::TempDir() + "/corrupt_offsets.bin";
-  ASSERT_TRUE(kb_.Save(path).ok());
+  // This test hand-computes byte positions of the v2 layout, so pin the
+  // legacy format explicitly now that Save defaults to v3.
+  ASSERT_TRUE(kb_.Save(path, /*format_version=*/2).ok());
   std::ifstream in(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
@@ -295,6 +297,76 @@ TEST_F(ToyKbTest, LoadRejectsCorruptCsrOffsets) {
   EXPECT_EQ(tail_mismatch.status().code(), StatusCode::kCorruption);
 
   std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, V2SnapshotLoadsIdenticallyThroughV3Reader) {
+  // Backward compat: the same frozen store written as v2 and as v3 must
+  // load into element-for-element identical in-memory form.
+  std::string v2_path = ::testing::TempDir() + "/compat_v2.bin";
+  std::string v3_path = ::testing::TempDir() + "/compat_v3.bin";
+  ASSERT_TRUE(kb_.Save(v2_path, /*format_version=*/2).ok());
+  ASSERT_TRUE(kb_.Save(v3_path, /*format_version=*/3).ok());
+
+  auto from_v2 = KnowledgeBase::Load(v2_path);
+  auto from_v3 = KnowledgeBase::Load(v3_path);
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status();
+  ASSERT_TRUE(from_v3.ok()) << from_v3.status();
+  const KnowledgeBase& a = from_v2.value();
+  const KnowledgeBase& b = from_v3.value();
+
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_predicates(), b.num_predicates());
+  EXPECT_EQ(a.num_triples(), b.num_triples());
+  EXPECT_EQ(a.name_predicate(), b.name_predicate());
+  for (TermId id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_EQ(a.NodeString(id), b.NodeString(id));
+    EXPECT_EQ(a.IsLiteral(id), b.IsLiteral(id));
+    auto out1 = a.Out(id), out2 = b.Out(id);
+    ASSERT_EQ(out1.size(), out2.size()) << "node " << id;
+    EXPECT_TRUE(std::equal(out1.begin(), out1.end(), out2.begin()));
+    auto in1 = a.In(id), in2 = b.In(id);
+    ASSERT_EQ(in1.size(), in2.size()) << "node " << id;
+    EXPECT_TRUE(std::equal(in1.begin(), in1.end(), in2.begin()));
+  }
+  for (PredId p = 0; p < a.num_predicates(); ++p) {
+    EXPECT_EQ(a.PredicateString(p), b.PredicateString(p));
+  }
+
+  // The compressed format must actually compress, even at toy scale.
+  std::ifstream f2(v2_path, std::ios::binary | std::ios::ate);
+  std::ifstream f3(v3_path, std::ios::binary | std::ios::ate);
+  EXPECT_LT(f3.tellg(), f2.tellg());
+  f2.close();
+  f3.close();
+  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
+}
+
+TEST_F(ToyKbTest, LoadRejectsBitFlippedV3Snapshot) {
+  // Any single corrupted byte of a v3 snapshot — magic, section length,
+  // payload, or checksum — must come back as a clean Corruption, never a
+  // crash, bad_alloc, or a silently different store.
+  std::string path = ::testing::TempDir() + "/flip_src.bin";
+  ASSERT_TRUE(kb_.Save(path, /*format_version=*/3).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 32u);
+
+  std::string flip_path = ::testing::TempDir() + "/flip_cut.bin";
+  for (size_t pos = 0; pos < bytes.size(); pos += 3) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    std::ofstream out(flip_path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    auto loaded = KnowledgeBase::Load(flip_path);
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << pos;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << pos;
+  }
+  std::remove(path.c_str());
+  std::remove(flip_path.c_str());
 }
 
 TEST_F(ToyKbTest, FreezeIsBitIdenticalAcrossThreadCounts) {
