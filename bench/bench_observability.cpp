@@ -13,6 +13,8 @@
 // -out, while keeping the A/B inside one binary (no cross-build noise).
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,8 +24,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/online.h"
 #include "eval/report.h"
 #include "obs/obs.h"
+#include "obs/wide_event.h"
+#include "serve/server.h"
 #include "util/timer.h"
 
 namespace {
@@ -54,6 +59,42 @@ double TimeAnswerPass(const core::KbqaSystem& kbqa,
   Timer t;
   for (const std::string& q : questions) {
     *answered += kbqa.Answer(q).answered;
+  }
+  return t.ElapsedSeconds() * 1e9 / static_cast<double>(questions.size());
+}
+
+/// One through-the-server sweep: blocking Answer via the serve front door,
+/// so each request pays admission + wide-event sampling + queueing +
+/// dispatch + the handler — the denominator the wide-event overhead gate
+/// is defined against (a request-scoped feature is budgeted against the
+/// request, not the bare engine call inside it).
+double TimeServerPass(serve::Server& server,
+                      const std::vector<std::string>& questions,
+                      size_t* completed) {
+  Timer t;
+  for (const std::string& q : questions) {
+    *completed += server.Answer(q).result.status.ok();
+  }
+  return t.ElapsedSeconds() * 1e9 / static_cast<double>(questions.size());
+}
+
+/// One bare-engine sweep with or without a bound RequestContext: isolates
+/// the per-stage Mark()/cache-tally cost of trace propagation from the
+/// serving machinery around it.
+double TimePropagationPass(const core::OnlineInference& engine,
+                           const std::vector<std::string>& questions,
+                           bool with_context, size_t* answered) {
+  Timer t;
+  for (const std::string& q : questions) {
+    core::AnswerOptions options;
+    obs::RequestContext ctx;
+    if (with_context) {
+      ctx.sampled = true;
+      ctx.trace_id = 1;
+      ctx.StartClockAt(obs::NowSteadyNs());
+      options.request_context = &ctx;
+    }
+    *answered += engine.Answer(q, options).answered;
   }
   return t.ElapsedSeconds() * 1e9 / static_cast<double>(questions.size());
 }
@@ -121,6 +162,116 @@ int main() {
       "baseline -> %.2f%% (%d pairs x %zu questions)\n",
       med_diff, base_ns, overhead_pct, kPairs, questions.size());
   Check(overhead_pct < 2.0, "instrumentation overhead under 2%");
+
+  // ---- Wide-event overhead A/B through the serving front door ----
+  // The request-scoped telemetry budget is defined against the request:
+  // the arm with sample period 1 pays context creation at admission, a
+  // stage-mark chain in the handler, cache tallies, and one ring Record
+  // per terminal outcome; period 0 reduces Sample() to a relaxed load and
+  // skips everything downstream. Same paired interleaved single-pass
+  // design as the registry A/B above — this box drifts too much for
+  // aggregate arm comparisons.
+  core::OnlineInference::Options engine_opts = kbqa.options().online;
+  engine_opts.enable_answer_cache = true;
+  engine_opts.answer_cache_budget_bytes = 64ull << 20;
+  engine_opts.value_cache_budget_bytes = 64ull << 20;
+  core::OnlineInference engine(
+      &experiment->world().kb, &experiment->world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), engine_opts);
+  const uint64_t wide_recorded_before = obs::WideEvents::TotalRecorded();
+  std::vector<double> sampled_ns, unsampled_ns, wide_diff_ns;
+  {
+    serve::ServingOptions serve_options;
+    serve_options.num_workers = 2;
+    serve_options.max_queue_depth = 256;
+    serve_options.max_batch_size = 8;
+    serve_options.max_batch_wait = std::chrono::microseconds(100);
+    auto server = serve::Server::ForEngine(&engine, serve_options);
+    // Warm both the answer cache and the batcher before timing.
+    obs::WideEvents::SetSamplePeriod(1);
+    size_t completed = 0;
+    (void)TimeServerPass(*server, questions, &completed);
+    const int kWidePairs = 200;
+    sampled_ns.reserve(kWidePairs);
+    unsampled_ns.reserve(kWidePairs);
+    wide_diff_ns.reserve(kWidePairs);
+    completed = 0;
+    for (int pair = 0; pair < kWidePairs; ++pair) {
+      double on = 0, off = 0;
+      if (pair % 2 == 0) {
+        obs::WideEvents::SetSamplePeriod(1);
+        on = TimeServerPass(*server, questions, &completed);
+        obs::WideEvents::SetSamplePeriod(0);
+        off = TimeServerPass(*server, questions, &completed);
+      } else {
+        obs::WideEvents::SetSamplePeriod(0);
+        off = TimeServerPass(*server, questions, &completed);
+        obs::WideEvents::SetSamplePeriod(1);
+        on = TimeServerPass(*server, questions, &completed);
+      }
+      sampled_ns.push_back(on);
+      unsampled_ns.push_back(off);
+      wide_diff_ns.push_back(on - off);
+    }
+    Check(completed > 0, "through-server passes completed requests");
+  }
+  obs::WideEvents::SetSamplePeriod(1);
+  const uint64_t wide_events_recorded =
+      obs::WideEvents::TotalRecorded() - wide_recorded_before;
+  Check(wide_events_recorded > 0, "sampled arm recorded wide events");
+  const double wide_med_diff = Median(wide_diff_ns);
+  const double wide_base_ns = Median(unsampled_ns);
+  const double wide_overhead_pct = wide_med_diff / wide_base_ns * 100.0;
+  std::printf(
+      "[wide events] through-server: median paired diff %+.0f ns on a "
+      "%.0f ns/request baseline -> %.2f%% at 1-in-1 sampling (%" PRIu64
+      " events recorded)\n",
+      wide_med_diff, wide_base_ns, wide_overhead_pct, wide_events_recorded);
+  Check(wide_overhead_pct < 2.0, "wide-event overhead under 2%");
+
+  // ---- Context-propagation delta on the bare engine ----
+  // Same paired design, no serving machinery: a bound RequestContext (all
+  // six stage marks, value/answer-cache tallies) vs a null pointer. The
+  // answer cache is off in this engine so every pass runs the full
+  // pipeline the marks instrument.
+  engine_opts.enable_answer_cache = false;
+  core::OnlineInference bare_engine(
+      &experiment->world().kb, &experiment->world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(), engine_opts);
+  const int kCtxPairs = 300;
+  std::vector<double> ctx_ns, no_ctx_ns, ctx_diff_ns;
+  ctx_ns.reserve(kCtxPairs);
+  no_ctx_ns.reserve(kCtxPairs);
+  ctx_diff_ns.reserve(kCtxPairs);
+  {
+    size_t ctx_answered = 0;
+    (void)TimePropagationPass(bare_engine, questions, false, &ctx_answered);
+    for (int pair = 0; pair < kCtxPairs; ++pair) {
+      double with_ctx = 0, without_ctx = 0;
+      if (pair % 2 == 0) {
+        with_ctx =
+            TimePropagationPass(bare_engine, questions, true, &ctx_answered);
+        without_ctx =
+            TimePropagationPass(bare_engine, questions, false, &ctx_answered);
+      } else {
+        without_ctx =
+            TimePropagationPass(bare_engine, questions, false, &ctx_answered);
+        with_ctx =
+            TimePropagationPass(bare_engine, questions, true, &ctx_answered);
+      }
+      ctx_ns.push_back(with_ctx);
+      no_ctx_ns.push_back(without_ctx);
+      ctx_diff_ns.push_back(with_ctx - without_ctx);
+    }
+    Check(ctx_answered > 0, "propagation passes produced answers");
+  }
+  const double ctx_med_diff = Median(ctx_diff_ns);
+  const double ctx_base_ns = Median(no_ctx_ns);
+  const double ctx_overhead_pct = ctx_med_diff / ctx_base_ns * 100.0;
+  std::printf(
+      "[propagation] bare engine: median paired diff %+.0f ns on a %.0f ns "
+      "baseline -> %.2f%% with a bound RequestContext\n",
+      ctx_med_diff, ctx_base_ns, ctx_overhead_pct);
 
   // ---- Metric coverage after a batched run ----
   eval::RunResult run = eval::RunBenchmarkBatched(kbqa, set, 4);
@@ -209,6 +360,31 @@ int main() {
                diff_ns[diff_ns.size() / 10],
                diff_ns[diff_ns.size() * 9 / 10], Median(enabled_ns),
                base_ns, overhead_pct);
+  std::sort(wide_diff_ns.begin(), wide_diff_ns.end());
+  std::fprintf(out,
+               "  \"wide_event_overhead\": {\n"
+               "    \"questions\": %zu, \"pairs\": %zu,\n"
+               "    \"median_paired_diff_ns\": %.1f,\n"
+               "    \"paired_diff_p10_ns\": %.1f,\n"
+               "    \"paired_diff_p90_ns\": %.1f,\n"
+               "    \"sampled_median_ns_per_request\": %.1f,\n"
+               "    \"unsampled_median_ns_per_request\": %.1f,\n"
+               "    \"overhead_percent\": %.3f,\n"
+               "    \"budget_percent\": 2.0,\n"
+               "    \"events_recorded\": %" PRIu64 "\n  },\n",
+               questions.size(), wide_diff_ns.size(), wide_med_diff,
+               wide_diff_ns[wide_diff_ns.size() / 10],
+               wide_diff_ns[wide_diff_ns.size() * 9 / 10], Median(sampled_ns),
+               wide_base_ns, wide_overhead_pct, wide_events_recorded);
+  std::fprintf(out,
+               "  \"context_propagation\": {\n"
+               "    \"questions\": %zu, \"pairs\": %zu,\n"
+               "    \"median_paired_diff_ns\": %.1f,\n"
+               "    \"with_context_median_ns\": %.1f,\n"
+               "    \"without_context_median_ns\": %.1f,\n"
+               "    \"overhead_percent\": %.3f\n  },\n",
+               questions.size(), ctx_diff_ns.size(), ctx_med_diff,
+               Median(ctx_ns), ctx_base_ns, ctx_overhead_pct);
   const auto* answer_span = snap.histogram("span.answer");
   std::fprintf(out,
                "  \"coverage\": {\n"

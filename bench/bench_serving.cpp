@@ -34,6 +34,9 @@
 #include "corpus/qa_generator.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/wide_event.h"
+#include "serve/exposition.h"
 #include "serve/server.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -52,6 +55,9 @@ struct Args {
   int workers = 0;  // server worker threads; 0 = hardware concurrency
   bool poisson = true;
   bool smoke = false;
+  int obs_port = -1;       // >= 0: start the exposition listener (0 = ephemeral)
+  int obs_sample = 1;      // wide-event sample period (0 = off, k = 1-in-k)
+  std::string obs_events;  // drain wide events to this JSONL path at exit
 };
 
 void Check(bool ok, const char* what) {
@@ -82,11 +88,18 @@ Args Parse(int argc, char** argv) {
       args.poisson = false;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       args.smoke = true;
+    } else if (std::sscanf(arg, "--obs-port=%lf", &v) == 1) {
+      args.obs_port = static_cast<int>(v);
+    } else if (std::sscanf(arg, "--obs-sample=%lf", &v) == 1) {
+      args.obs_sample = static_cast<int>(v);
+    } else if (std::strncmp(arg, "--obs-events=", 13) == 0) {
+      args.obs_events = arg + 13;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: bench_serving [--target_qps=N] "
                    "[--duration_s=N] [--zipf_s=N] [--threads=N] [--workers=N] "
-                   "[--arrival=poisson|fixed] [--smoke]\n",
+                   "[--arrival=poisson|fixed] [--smoke] [--obs-port=N] "
+                   "[--obs-sample=N] [--obs-events=PATH]\n",
                    arg);
       std::exit(2);
     }
@@ -283,6 +296,29 @@ int main(int argc, char** argv) {
       args.zipf_s, args.threads, args.workers,
       args.poisson ? "poisson" : "fixed", hardware_threads);
 
+  // ---- Observability: wide-event sampling, the serving SLO, and the
+  // pull exposition endpoint (started before the expensive setup so an
+  // operator can scrape /statusz while the world is still training). ----
+  obs::WideEvents::SetSamplePeriod(
+      args.obs_sample < 0 ? 0u : static_cast<uint32_t>(args.obs_sample));
+  obs::SloMonitor slo{obs::SloSpec{}};
+  std::unique_ptr<serve::ExpositionServer> exposition;
+  if (args.obs_port >= 0) {
+    serve::ExpositionOptions obs_options;
+    obs_options.port = args.obs_port;
+    obs_options.slo = &slo;
+    auto started = serve::ExpositionServer::Start(obs_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "exposition failed to start: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    exposition = std::move(started).value();
+    std::printf("[obs] exposition listening on 127.0.0.1:%d\n",
+                exposition->port());
+    std::fflush(stdout);
+  }
+
   // ---- Setup: world + trained system + serving engine. ----
   std::unique_ptr<eval::Experiment> experiment;
   {
@@ -360,6 +396,7 @@ int main(int argc, char** argv) {
   {
     serve::ServingOptions options;
     options.num_workers = args.workers;
+    options.slo = &slo;
     options.max_queue_depth = 4096;
     options.max_batch_size = 1;
     options.max_batch_wait = std::chrono::microseconds(100);
@@ -370,6 +407,7 @@ int main(int argc, char** argv) {
   {
     serve::ServingOptions options;
     options.num_workers = args.workers;
+    options.slo = &slo;
     options.max_queue_depth = 4096;
     options.max_batch_size = 32;
     options.max_batch_wait = std::chrono::microseconds(100);
@@ -400,6 +438,7 @@ int main(int argc, char** argv) {
   {
     serve::ServingOptions options;
     options.num_workers = args.workers;
+    options.slo = &slo;
     options.max_queue_depth = 4096;
     options.max_batch_size = 32;
     options.max_batch_wait = std::chrono::microseconds(200);
@@ -424,6 +463,7 @@ int main(int argc, char** argv) {
   {
     serve::ServingOptions options;
     options.num_workers = args.workers;
+    options.slo = &slo;
     options.max_queue_depth = 16;
     options.max_batch_size = 8;
     options.max_batch_wait = std::chrono::microseconds(200);
@@ -452,6 +492,41 @@ int main(int argc, char** argv) {
                 histogram->ValueAtQuantile(0.99) / 1e6, histogram->count);
   }
 
+  // ---- Wide-event drain + SLO evaluation. All phases recorded into the
+  // same process-wide rings; the drain consumes them (the exposition's
+  // /eventz view is non-consuming, so a live scrape saw the same rows). ----
+  const std::vector<obs::WideEvent> wide_events = obs::WideEvents::Drain();
+  const uint64_t wide_recorded = obs::WideEvents::TotalRecorded();
+  const uint64_t wide_dropped = obs::WideEvents::Dropped();
+  std::printf("[obs] wide events: %" PRIu64 " recorded, %zu drained, %" PRIu64
+              " overwritten before drain (ring %zu/thread, sample 1-in-%u)\n",
+              wide_recorded, wide_events.size(), wide_dropped,
+              obs::WideEvents::kRingCapacity, obs::WideEvents::SamplePeriod());
+  if (!args.obs_events.empty()) {
+    std::FILE* events_out = std::fopen(args.obs_events.c_str(), "w");
+    Check(events_out != nullptr, "open --obs-events path");
+    for (const obs::WideEvent& event : wide_events) {
+      const std::string line = event.ToJsonLine();
+      std::fwrite(line.data(), 1, line.size(), events_out);
+      std::fputc('\n', events_out);
+    }
+    std::fclose(events_out);
+    std::printf("[obs] wrote %zu wide events to %s "
+                "(scripts/trace_summarize.py ingests this)\n",
+                wide_events.size(), args.obs_events.c_str());
+  }
+  const obs::SloEvaluation slo_eval = slo.PublishGauges(obs::NowSteadyNs());
+  std::printf("[slo] burn rate short %.2f / long %.2f, window good+bad "
+              "%" PRIu64 "+%" PRIu64 ", firing: %s (the overload phase burns "
+              "error budget by design)\n",
+              slo_eval.short_burn_rate, slo_eval.long_burn_rate,
+              slo_eval.long_good, slo_eval.long_bad,
+              slo_eval.firing ? "yes" : "no");
+  if (obs::WideEvents::SamplePeriod() != 0) {
+    Check(wide_recorded > 0, "wide events recorded while sampling is on");
+    Check(slo.TotalGood() + slo.TotalBad() > 0, "slo monitor saw outcomes");
+  }
+
   // ---- JSON ----
   std::FILE* out = std::fopen("BENCH_serving.json", "w");
   Check(out != nullptr, "open BENCH_serving.json");
@@ -470,8 +545,19 @@ int main(int argc, char** argv) {
   EmitRun(out, "overload", overload_qps, overload, ",");
   std::fprintf(out,
                "  \"batch_ab\": {\"threads\": %d, \"batch1_qps\": %.1f, "
-               "\"batch32_qps\": %.1f, \"speedup\": %.3f}\n}\n",
+               "\"batch32_qps\": %.1f, \"speedup\": %.3f},\n",
                ab_threads, batch1_qps, batch32_qps, batch_speedup);
+  std::fprintf(out,
+               "  \"obs\": {\"sample_period\": %u, \"wide_events_recorded\": "
+               "%" PRIu64 ", \"wide_events_drained\": %zu, "
+               "\"wide_events_dropped\": %" PRIu64 ",\n"
+               "    \"slo_good\": %" PRIu64 ", \"slo_bad\": %" PRIu64
+               ", \"slo_burn_short\": %.3f, \"slo_burn_long\": %.3f, "
+               "\"slo_firing\": %s}\n}\n",
+               obs::WideEvents::SamplePeriod(), wide_recorded,
+               wide_events.size(), wide_dropped, slo.TotalGood(),
+               slo.TotalBad(), slo_eval.short_burn_rate,
+               slo_eval.long_burn_rate, slo_eval.firing ? "true" : "false");
   std::fclose(out);
   std::printf("[done] wrote BENCH_serving.json\n");
   return 0;

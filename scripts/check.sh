@@ -16,6 +16,13 @@
 #                             # world sweep (--smoke: compression ratio +
 #                             # paged budget curve + engine bit-identity),
 #                             # and validate the BENCH_memory.json schema
+#   scripts/check.sh --obs-smoke
+#                             # wide-event telemetry end to end: run
+#                             # bench_serving --smoke with the exposition
+#                             # listener up, scrape /metricsz /statusz
+#                             # /slo /eventz live, schema-check a scraped
+#                             # wide event, then summarize the drained
+#                             # JSONL with scripts/trace_summarize.py
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -26,6 +33,9 @@ JOBS=${JOBS:-$(nproc)}
 run_lint() {
   echo "== project lint =="
   python3 scripts/lint.py
+  echo "== trace_summarize golden =="
+  python3 scripts/trace_summarize.py --top 3 tests/data/wide_events_golden.jsonl \
+    | diff -u tests/data/wide_events_golden.txt -
 }
 
 run_plain() {
@@ -71,6 +81,48 @@ run_mem_smoke() {
   python3 scripts/validate_bench.py build/BENCH_memory.json
 }
 
+run_obs_smoke() {
+  echo "== obs smoke (bench_serving --smoke --obs-port=0) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_serving
+  rm -f build/obs_smoke.log build/wide_events.jsonl
+  (cd build && exec ./bench/bench_serving --smoke --obs-port=0 \
+      --obs-events=wide_events.jsonl >obs_smoke.log 2>&1) &
+  local bench_pid=$!
+  # The exposition listener comes up before the expensive world build, so
+  # the port line appears within seconds even on a slow box.
+  local port=""
+  for _ in $(seq 1 120); do
+    port=$(sed -n 's/.*exposition listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        build/obs_smoke.log 2>/dev/null | head -1)
+    [ -n "$port" ] && break
+    kill -0 "$bench_pid" 2>/dev/null || break
+    sleep 0.5
+  done
+  if [ -z "$port" ]; then
+    echo "FAILED: exposition never reported a port" >&2
+    cat build/obs_smoke.log >&2 || true
+    kill "$bench_pid" 2>/dev/null || true
+    exit 1
+  fi
+  echo "== live scrape on port $port =="
+  if ! python3 scripts/obs_scrape_check.py "$port"; then
+    cat build/obs_smoke.log >&2 || true
+    kill "$bench_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! wait "$bench_pid"; then
+    echo "FAILED: bench_serving exited non-zero" >&2
+    cat build/obs_smoke.log >&2 || true
+    exit 1
+  fi
+  tail -4 build/obs_smoke.log
+  echo "== drained wide-event summary =="
+  python3 scripts/trace_summarize.py --top 3 build/wide_events.jsonl
+  echo "== BENCH_serving.json schema (with obs section) =="
+  python3 scripts/validate_bench.py build/BENCH_serving.json
+}
+
 case "${1:-}" in
   --lint)
     run_lint
@@ -83,6 +135,10 @@ case "${1:-}" in
   --mem-smoke)
     run_mem_smoke
     echo "== OK (mem smoke) =="
+    ;;
+  --obs-smoke)
+    run_obs_smoke
+    echo "== OK (obs smoke) =="
     ;;
   --tsan)
     run_tsan
@@ -100,7 +156,7 @@ case "${1:-}" in
     echo "== OK =="
     ;;
   *)
-    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke]" >&2
+    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke|--obs-smoke]" >&2
     exit 2
     ;;
 esac

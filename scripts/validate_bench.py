@@ -11,6 +11,10 @@ One validator per artifact family, dispatched on file name:
       residency of the expanded-KB substrate (ratio <= 0.5) and the
       hit-rate/latency sweep of the paged substrate, with the engine
       bit-identity flag asserted at every budget point.
+  BENCH_observability.json — the obs bench: paired A/B overhead of the
+      metrics registry AND of wide-event telemetry through the serving
+      front door, both gated under their 2% budgets, plus the bare-engine
+      context-propagation delta (informational) and metric coverage.
 
 Usage: validate_bench.py <BENCH_*.json> [more...]
 """
@@ -114,6 +118,79 @@ def validate_serving(doc):
     require(ab["batch1_qps"] > 0 and ab["batch32_qps"] > 0,
             "batch A/B throughput is zero")
 
+    # obs section (wide-event sink + SLO accounting); optional for JSONs
+    # emitted before the telemetry PR, required keys once present.
+    if "obs" in doc:
+        obs = doc["obs"]
+        for key in ("sample_period", "wide_events_recorded",
+                    "wide_events_drained", "wide_events_dropped",
+                    "slo_good", "slo_bad", "slo_burn_short",
+                    "slo_burn_long", "slo_firing"):
+            require(key in obs, f"obs.{key} missing")
+        if obs["sample_period"] == 1:
+            require(obs["wide_events_recorded"] > 0,
+                    "1-in-1 sampling recorded no wide events")
+        require(obs["slo_good"] + obs["slo_bad"] > 0,
+                "slo monitor saw no terminal outcomes")
+
+
+# ---- BENCH_observability.json ----
+
+OVERHEAD_KEYS = (
+    "questions",
+    "pairs",
+    "median_paired_diff_ns",
+    "overhead_percent",
+    "budget_percent",
+)
+
+
+def check_overhead(name, section):
+    for key in OVERHEAD_KEYS:
+        require(key in section, f"{name}.{key} missing")
+    require(section["pairs"] >= 100, f"{name} has too few A/B pairs")
+    require(
+        is_number(section["overhead_percent"]),
+        f"{name}.overhead_percent not numeric",
+    )
+    require(
+        section["overhead_percent"] < section["budget_percent"],
+        f"{name}: overhead {section['overhead_percent']}% breaks the "
+        f"{section['budget_percent']}% budget",
+    )
+
+
+def validate_observability(doc):
+    for key in ("hardware_threads", "answer_overhead", "wide_event_overhead",
+                "context_propagation", "coverage", "trace",
+                "snapshot_json_round_trip", "batched_run"):
+        require(key in doc, f"top-level {key} missing")
+
+    check_overhead("answer_overhead", doc["answer_overhead"])
+    check_overhead("wide_event_overhead", doc["wide_event_overhead"])
+    require(
+        doc["wide_event_overhead"].get("events_recorded", 0) > 0,
+        "wide_event_overhead arm recorded no events",
+    )
+
+    # Propagation delta is informational (the budget is gated on the
+    # through-the-server denominator above), but must be present and sane.
+    ctx = doc["context_propagation"]
+    for key in ("questions", "pairs", "median_paired_diff_ns",
+                "with_context_median_ns", "without_context_median_ns",
+                "overhead_percent"):
+        require(key in ctx, f"context_propagation.{key} missing")
+    require(ctx["without_context_median_ns"] > 0,
+            "context_propagation baseline is zero")
+
+    coverage = doc["coverage"]
+    for key in ("span_answer_count", "value_cache_hits", "em_iterations",
+                "thread_pool_tasks"):
+        require(key in coverage, f"coverage.{key} missing")
+        require(coverage[key] > 0, f"coverage.{key} is zero")
+    require(doc["snapshot_json_round_trip"] is True,
+            "snapshot JSON round-trip failed")
+
 
 # ---- BENCH_memory.json ----
 
@@ -194,6 +271,7 @@ def validate_memory(doc):
 VALIDATORS = {
     "BENCH_serving.json": validate_serving,
     "BENCH_memory.json": validate_memory,
+    "BENCH_observability.json": validate_observability,
 }
 
 

@@ -45,14 +45,15 @@ void MarkDeadlineExceeded(AnswerResult* result) {
 /// The shared mention → entity → category → template walk of §3.3's
 /// candidate enumeration. AnswerTokens and IsPrimitiveBfq both iterate
 /// through here so the two cannot drift. `visit(mention, entity, p_t,
-/// template_id)` returns false to stop the walk early.
+/// template_id)` returns false to stop the walk early. `ctx` (nullable)
+/// receives the conceptualize/template_match stage attribution.
 template <typename Visitor>
 void VisitTemplateCandidates(const taxonomy::Taxonomy& taxonomy,
                              const TemplateStore& store,
                              const OnlineInference::Options& options,
                              const std::vector<std::string>& tokens,
                              const std::vector<nlp::Mention>& mentions,
-                             Visitor&& visit) {
+                             obs::RequestContext* ctx, Visitor&& visit) {
   for (const nlp::Mention& mention : mentions) {
     std::vector<std::string> context;
     context.reserve(tokens.size());
@@ -63,7 +64,12 @@ void VisitTemplateCandidates(const taxonomy::Taxonomy& taxonomy,
       std::vector<taxonomy::ScoredCategory> categories;
       {
         KBQA_TRACE_SPAN_SAMPLED("answer.conceptualize");
+        // Chained marks: the walk fragment since the previous mark goes
+        // to template_match, the Conceptualize call itself to its own
+        // stage.
+        if (ctx != nullptr) ctx->Mark(obs::WideStage::kTemplateMatch);
         categories = taxonomy.Conceptualize(entity, context);
+        if (ctx != nullptr) ctx->Mark(obs::WideStage::kConceptualize);
       }
       if (categories.size() > options.max_categories_per_entity) {
         categories.resize(options.max_categories_per_entity);
@@ -173,12 +179,21 @@ const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
     return *scratch;
   }
   ++tally->misses;
+  // Misses are the slow path (block decode or KB re-walk), so per-request
+  // attribution times them individually; hits are counted but not timed —
+  // their cost stays inside the surrounding stage. The TLS binding is how
+  // the request context reaches this depth (see ScopedRequestContext).
+  obs::RequestContext* const ctx = obs::CurrentRequestContext();
+  const uint64_t miss_begin = ctx != nullptr ? obs::NowSteadyNs() : 0;
   LookupValues(entity, path, scratch);
   // Insert copies the value set; concurrent misses on the same key both
   // computed identical vectors from the immutable KB, and the cache keeps
   // whichever landed first.
   tally->evictions += value_cache_.Insert(
       key, *scratch, scratch->size() * sizeof(rdf::TermId));
+  if (ctx != nullptr) {
+    ctx->AddTimedSince(obs::WideStage::kValueLookup, miss_begin);
+  }
   return *scratch;
 }
 
@@ -268,11 +283,17 @@ AnswerResult OnlineInference::AnswerCached(
   if (answer_cache_.Get(key, &result)) {
     answer_cache_hits_.Add(1);
     KBQA_COUNTER_ADD("online.answer_cache.hits", 1);
+    if (answer_options.request_context != nullptr) {
+      ++answer_options.request_context->answer_cache_hits;
+    }
     return result;
   }
   result = Answer(question, answer_options);
   answer_cache_misses_.Add(1);
   KBQA_COUNTER_ADD("online.answer_cache.misses", 1);
+  if (answer_options.request_context != nullptr) {
+    ++answer_options.request_context->answer_cache_misses;
+  }
   // Only complete answers are memoized: a deadline-clipped partial
   // (kDeadlineExceeded) would otherwise serve its truncation to every
   // later request that has budget to compute the real thing.
@@ -300,9 +321,18 @@ AnswerResult OnlineInference::AnswerTokens(
   // uniform samples; the counters flushed below stay exact.
   KBQA_TRACE_DETAIL_WINDOW();
   KBQA_TRACE_SPAN_SAMPLED("answer");
+  obs::RequestContext* const ctx = answer_options.request_context;
+  // Bind the request context for layers reached without an options plumb
+  // (the compressed-KB pager stamps block traffic through the TLS). No-op
+  // when ctx is null.
+  obs::ScopedRequestContext request_scope(ctx);
   CacheTally tally;
   AnswerResult result = AnswerTokensImpl(tokens, answer_options, &tally);
   FlushAnswerStats(&result, tally);
+  if (ctx != nullptr) {
+    ctx->value_cache_hits += static_cast<uint32_t>(tally.hits);
+    ctx->value_cache_misses += static_cast<uint32_t>(tally.misses);
+  }
   return result;
 }
 
@@ -310,6 +340,12 @@ AnswerResult OnlineInference::AnswerTokensImpl(
     const std::vector<std::string>& tokens,
     const AnswerOptions& answer_options, CacheTally* tally) const {
   AnswerResult result;
+  obs::RequestContext* const ctx = answer_options.request_context;
+  if (ctx != nullptr && ctx->last_mark_ns == 0) {
+    // Bare-engine callers (benches, tests) never anchored the stage
+    // clock; the serving layer anchors at handler start for free.
+    ctx->StartClockAt(obs::NowSteadyNs());
+  }
   DeadlineGate gate{answer_options.deadline};
   if (gate.Hit()) {  // Already past due on entry: answer nothing.
     MarkDeadlineExceeded(&result);
@@ -320,6 +356,10 @@ AnswerResult OnlineInference::AnswerTokensImpl(
     KBQA_TRACE_SPAN_SAMPLED("answer.ner");
     mentions = ner_->FindMentions(tokens);
   }
+  // Everything from the anchor through mention lookup — tokenization
+  // happened upstream of AnswerTokens but after the anchor — is the NER
+  // stage.
+  if (ctx != nullptr) ctx->Mark(obs::WideStage::kNer);
   if (mentions.empty()) return result;
 
   size_t total_entities = 0;
@@ -341,12 +381,16 @@ AnswerResult OnlineInference::AnswerTokensImpl(
   {
     KBQA_TRACE_SPAN_SAMPLED("answer.template_match");
     VisitTemplateCandidates(
-        *taxonomy_, *store_, options_, tokens, mentions,
+        *taxonomy_, *store_, options_, tokens, mentions, ctx,
         [&](const nlp::Mention&, rdf::TermId entity, double p_t,
             TemplateId t) {
           if (gate.Hit()) return false;
           ++result.num_templates;
           KBQA_TRACE_SPAN_SAMPLED("answer.score");
+          // Walk fragment since the last mark (store lookup, category
+          // iteration) belongs to template_match; the predicate loop
+          // below closes as the score stage.
+          if (ctx != nullptr) ctx->Mark(obs::WideStage::kTemplateMatch);
           for (const PredicateProb& pp : store_->Distribution(t)) {
             if (pp.probability < options_.min_predicate_prob) continue;
             if (gate.Hit()) return false;
@@ -369,8 +413,12 @@ AnswerResult OnlineInference::AnswerTokensImpl(
               }
             }
           }
+          if (ctx != nullptr) ctx->Mark(obs::WideStage::kScore);
           return true;
         });
+    // Close the candidate walk: whatever ran since the last inner mark
+    // (or a deadline-aborted score fragment) is template_match time.
+    if (ctx != nullptr) ctx->Mark(obs::WideStage::kTemplateMatch);
   }
   // A deadline hit stops candidate enumeration but still ranks whatever
   // the posterior accumulated: the caller gets the best partial answer
@@ -394,7 +442,10 @@ AnswerResult OnlineInference::AnswerTokensImpl(
             });
 
   const AnswerCandidate& best = result.ranked.front();
-  if (best.score < options_.min_answer_score) return result;
+  if (best.score < options_.min_answer_score) {
+    if (ctx != nullptr) ctx->Mark(obs::WideStage::kRank);
+    return result;
+  }
   result.answered = true;
   result.score = best.score;
   result.value = kb_->IsLiteral(best.value) ? kb_->NodeString(best.value)
@@ -410,6 +461,9 @@ AnswerResult OnlineInference::AnswerTokensImpl(
     result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
                                               : kb_->EntityName(v));
   }
+  // Rank covers sort + winner materialization (minus any timed value
+  // lookups the materialization hit, which went to value_lookup above).
+  if (ctx != nullptr) ctx->Mark(obs::WideStage::kRank);
   return result;
 }
 
@@ -421,7 +475,7 @@ bool OnlineInference::IsPrimitiveBfq(
   std::vector<rdf::TermId> scratch;
   CacheTally tally;
   VisitTemplateCandidates(
-      *taxonomy_, *store_, options_, tokens, mentions,
+      *taxonomy_, *store_, options_, tokens, mentions, /*ctx=*/nullptr,
       [&](const nlp::Mention&, rdf::TermId entity, double, TemplateId t) {
         for (const PredicateProb& pp : store_->Distribution(t)) {
           if (pp.probability < options_.min_predicate_prob) continue;

@@ -10,6 +10,7 @@
 #include "core/template_store.h"
 #include "nlp/ner.h"
 #include "obs/metrics.h"
+#include "obs/wide_event.h"
 #include "rdf/compressed_expanded.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
@@ -43,6 +44,12 @@ struct AnswerOptions {
   /// empty answer whose `status` is kDeadlineExceeded instead of stalling
   /// a serving thread. Unset means no latency bound (no clock reads).
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Request-scoped telemetry context (DESIGN.md §8), owned by the serving
+  /// layer and stamped by the pipeline: disjoint per-stage durations via
+  /// the chained stage clock, plus per-tier cache hit/miss counts. The
+  /// pointed-to context must outlive the call; null (the default) means
+  /// "not sampled" and costs one branch per stage boundary.
+  obs::RequestContext* request_context = nullptr;
 };
 
 /// One scored value in the online posterior.

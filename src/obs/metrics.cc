@@ -100,6 +100,17 @@ uint64_t MetricsSnapshot::HistogramEntry::ValueAtQuantile(double q) const {
     // width — report its floor rather than inventing mass beyond 2^62.
     if (b.bucket == 0) return 0;
     const uint64_t lower = Histogram::UpperBound(b.bucket - 1) + 1;
+    if (static_cast<double>(cumulative) >= static_cast<double>(count) &&
+        target >= static_cast<double>(count)) {
+      // Max quantile: interpolation would report the bucket's lower bound
+      // (or an interior point) even when the one recorded sample sits at
+      // the top of the bucket. `sum` bounds the max from above whenever
+      // this bucket holds the final sample(s), so clamp the answer into
+      // [lower, min(upper, sum)] and take the top — for a single-sample
+      // histogram this is exactly the recorded value.
+      const uint64_t sum_cap = sum < lower ? lower : sum;
+      return upper < sum_cap ? upper : sum_cap;
+    }
     if (upper == UINT64_MAX) return lower;
     const double fraction =
         (target - static_cast<double>(before)) / static_cast<double>(b.count);

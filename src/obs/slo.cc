@@ -1,0 +1,122 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace kbqa::obs {
+
+namespace {
+
+uint64_t NsToSecond(uint64_t ns) { return ns / 1'000'000'000ull; }
+
+}  // namespace
+
+SloMonitor::SloMonitor(const SloSpec& spec)
+    : spec_(spec), buckets_(kMaxWindowSeconds) {
+  spec_.availability_target = std::min(spec_.availability_target, 1.0 - 1e-9);
+  spec_.short_window_s =
+      std::max(1u, std::min(spec_.short_window_s, kMaxWindowSeconds));
+  spec_.long_window_s = std::max(
+      spec_.short_window_s, std::min(spec_.long_window_s, kMaxWindowSeconds));
+}
+
+void SloMonitor::Record(bool good, uint64_t now_ns) {
+  const uint64_t second = NsToSecond(now_ns);
+  SecondBucket& bucket = buckets_[second % buckets_.size()];
+  uint64_t tagged = bucket.second.load(std::memory_order_acquire);
+  if (tagged != second) {
+    // Recycle the stale slot for the new second. The CAS winner zeroes the
+    // counters; a racing recorder that read the fresh tag before the reset
+    // finished can lose its increment — a bounded, once-per-second-rollover
+    // imprecision accepted for a lock-free hot path (windows are seconds
+    // wide; SLO math is unaffected by a one-count skew).
+    if (bucket.second.compare_exchange_strong(tagged, second,
+                                              std::memory_order_acq_rel)) {
+      bucket.good.store(0, std::memory_order_relaxed);
+      bucket.bad.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (good) {
+    bucket.good.fetch_add(1, std::memory_order_relaxed);
+    total_good_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bucket.bad.fetch_add(1, std::memory_order_relaxed);
+    total_bad_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloMonitor::RecordRequest(bool ok, uint64_t total_latency_ns,
+                               uint64_t now_ns) {
+  bool good = ok;
+  if (good && spec_.latency_threshold_ns > 0 &&
+      total_latency_ns > spec_.latency_threshold_ns) {
+    good = false;
+  }
+  Record(good, now_ns);
+}
+
+void SloMonitor::SumWindow(uint64_t now_s, uint32_t window_s, uint64_t* good,
+                           uint64_t* bad) const {
+  *good = 0;
+  *bad = 0;
+  const uint64_t oldest = now_s >= window_s ? now_s - window_s + 1 : 0;
+  for (uint64_t s = oldest; s <= now_s; ++s) {
+    const SecondBucket& bucket = buckets_[s % buckets_.size()];
+    if (bucket.second.load(std::memory_order_acquire) != s) continue;
+    *good += bucket.good.load(std::memory_order_relaxed);
+    *bad += bucket.bad.load(std::memory_order_relaxed);
+  }
+}
+
+double SloMonitor::BurnRate(uint64_t good, uint64_t bad) const {
+  const uint64_t total = good + bad;
+  if (total == 0) return 0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  const double budget_fraction = 1.0 - spec_.availability_target;
+  return bad_fraction / budget_fraction;
+}
+
+SloEvaluation SloMonitor::Evaluate(uint64_t now_ns) const {
+  const uint64_t now_s = NsToSecond(now_ns);
+  SloEvaluation eval;
+  SumWindow(now_s, spec_.short_window_s, &eval.short_good, &eval.short_bad);
+  SumWindow(now_s, spec_.long_window_s, &eval.long_good, &eval.long_bad);
+  eval.short_burn_rate = BurnRate(eval.short_good, eval.short_bad);
+  eval.long_burn_rate = BurnRate(eval.long_good, eval.long_bad);
+  eval.firing = eval.short_burn_rate >= spec_.burn_rate_threshold &&
+                eval.long_burn_rate >= spec_.burn_rate_threshold;
+  return eval;
+}
+
+SloEvaluation SloMonitor::PublishGauges(uint64_t now_ns) const {
+  SloEvaluation eval = Evaluate(now_ns);
+  if (Enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetGauge("slo.burn_rate_short")->Set(eval.short_burn_rate);
+    registry.GetGauge("slo.burn_rate_long")->Set(eval.long_burn_rate);
+    registry.GetGauge("slo.window_short_good")
+        ->Set(static_cast<double>(eval.short_good));
+    registry.GetGauge("slo.window_short_bad")
+        ->Set(static_cast<double>(eval.short_bad));
+    registry.GetGauge("slo.window_long_good")
+        ->Set(static_cast<double>(eval.long_good));
+    registry.GetGauge("slo.window_long_bad")
+        ->Set(static_cast<double>(eval.long_bad));
+    registry.GetGauge("slo.firing")->Set(eval.firing ? 1 : 0);
+    registry.GetGauge("slo.good_total")->Set(static_cast<double>(TotalGood()));
+    registry.GetGauge("slo.bad_total")->Set(static_cast<double>(TotalBad()));
+  }
+  return eval;
+}
+
+uint64_t SloMonitor::TotalGood() const {
+  return total_good_.load(std::memory_order_relaxed);
+}
+
+uint64_t SloMonitor::TotalBad() const {
+  return total_bad_.load(std::memory_order_relaxed);
+}
+
+}  // namespace kbqa::obs

@@ -1,0 +1,105 @@
+#ifndef KBQA_OBS_SLO_H_
+#define KBQA_OBS_SLO_H_
+
+/// Sliding-window SLO burn-rate monitor (DESIGN.md §8).
+///
+/// The serving layer declares one SLO — "fraction `availability_target`
+/// of requests are good", where good means resolved OK within
+/// `latency_threshold_ns` — and records every terminal request outcome as
+/// good or bad. The monitor keeps per-second good/bad counters in a fixed
+/// ring and evaluates the burn rate over two windows:
+///
+///   burn = (bad / total within window) / (1 - availability_target)
+///
+/// A burn rate of 1 consumes the error budget exactly at the rate the SLO
+/// allows; 14.4 consumes a 30-day budget in ~2 days. The alert fires only
+/// when BOTH windows exceed the threshold (the long window proves the
+/// burn is sustained, the short one proves it is still happening), the
+/// standard multi-window guard against paging on old, recovered incidents.
+///
+/// Time is caller-supplied (steady-clock ns) so tests drive the windows
+/// deterministically. Recording is lock-free: per-second buckets are
+/// atomics, tagged with their absolute second so stale ring slots are
+/// recycled in place.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kbqa::obs {
+
+struct SloSpec {
+  /// Target fraction of good requests, e.g. 0.999. Must be < 1.
+  double availability_target = 0.999;
+  /// A request slower than this is bad even if it succeeded. 0 disables
+  /// the latency criterion.
+  uint64_t latency_threshold_ns = 50'000'000;  // 50ms
+  /// Burn-rate evaluation windows, in seconds. short < long <= window
+  /// capacity (kMaxWindowSeconds).
+  uint32_t short_window_s = 300;
+  uint32_t long_window_s = 3600;
+  /// Both windows must burn at or above this rate to fire.
+  double burn_rate_threshold = 14.4;
+};
+
+struct SloEvaluation {
+  double short_burn_rate = 0;
+  double long_burn_rate = 0;
+  uint64_t short_good = 0;
+  uint64_t short_bad = 0;
+  uint64_t long_good = 0;
+  uint64_t long_bad = 0;
+  bool firing = false;
+};
+
+class SloMonitor {
+ public:
+  /// Ring capacity in seconds; windows longer than this are clamped.
+  static constexpr uint32_t kMaxWindowSeconds = 3600;
+
+  explicit SloMonitor(const SloSpec& spec);
+
+  const SloSpec& spec() const { return spec_; }
+
+  /// Records one terminal request outcome. `now_ns` is steady-clock time
+  /// (obs::NowSteadyNs()); callers on the serving path pass the clock
+  /// reading they already took. Thread-safe, lock-free.
+  void Record(bool good, uint64_t now_ns);
+
+  /// Convenience: applies the spec's goodness criteria to a request
+  /// outcome, then records it.
+  void RecordRequest(bool ok, uint64_t total_latency_ns, uint64_t now_ns);
+
+  /// Burn rates over both windows ending at `now_ns`.
+  SloEvaluation Evaluate(uint64_t now_ns) const;
+
+  /// Evaluates and publishes slo.* gauges into the global metrics
+  /// registry.
+  SloEvaluation PublishGauges(uint64_t now_ns) const;
+
+  /// Lifetime totals (not windowed).
+  uint64_t TotalGood() const;
+  uint64_t TotalBad() const;
+
+ private:
+  struct SecondBucket {
+    std::atomic<uint64_t> second{UINT64_MAX};  // absolute second tag
+    std::atomic<uint64_t> good{0};
+    std::atomic<uint64_t> bad{0};
+  };
+
+  /// Sums good/bad over the `window_s` seconds ending at `now_s`.
+  void SumWindow(uint64_t now_s, uint32_t window_s, uint64_t* good,
+                 uint64_t* bad) const;
+  double BurnRate(uint64_t good, uint64_t bad) const;
+
+  SloSpec spec_;
+  std::vector<SecondBucket> buckets_;
+  std::atomic<uint64_t> total_good_{0};
+  std::atomic<uint64_t> total_bad_{0};
+};
+
+}  // namespace kbqa::obs
+
+#endif  // KBQA_OBS_SLO_H_

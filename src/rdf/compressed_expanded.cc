@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <span>
 
+#include "obs/wide_event.h"
 #include "util/coding.h"
 
 namespace kbqa::rdf {
@@ -346,12 +347,18 @@ CompressedExpandedKb::DecodePayload(const BlockInfo& info, const uint8_t* data,
 
 std::shared_ptr<const CompressedExpandedKb::DecodedBlock>
 CompressedExpandedKb::FetchBlock(uint32_t block_id) const {
+  // Too deep for a parameter to reach: the sampled request (if any) is
+  // found via the thread-local binding the engine installed (DESIGN.md §8)
+  // so its wide event carries this tier's hit/miss/decode traffic.
+  obs::RequestContext* const ctx = obs::CurrentRequestContext();
   std::shared_ptr<const DecodedBlock> block;
   if (cache_->Get(block_id, &block)) {
     counters_->hits.fetch_add(1, std::memory_order_relaxed);
+    if (ctx != nullptr) ++ctx->block_cache_hits;
     return block;
   }
   counters_->misses.fetch_add(1, std::memory_order_relaxed);
+  if (ctx != nullptr) ++ctx->block_cache_misses;
   const BlockInfo& info = index_[block_id];
   if (options_.blocks_resident) {
     block = DecodePayload(
@@ -388,6 +395,7 @@ CompressedExpandedKb::FetchBlock(uint32_t block_id) const {
     counters_->corrupt_blocks.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  if (ctx != nullptr) ++ctx->blocks_decoded;
   cache_->Insert(block_id, block, block->ApproxBytes());
   return block;
 }

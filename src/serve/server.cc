@@ -19,6 +19,37 @@ uint64_t NanosBetween(std::chrono::steady_clock::time_point from,
           .count());
 }
 
+/// Steady time point -> the absolute-ns time base the wide-event layer
+/// uses (same clock, so stage sums and server sums stay comparable).
+uint64_t ToNs(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+/// Remaining deadline budget (possibly negative) at `at_ns`; 0 when the
+/// request carries no deadline.
+int64_t BudgetNsAt(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    uint64_t at_ns) {
+  if (!deadline) return 0;
+  return static_cast<int64_t>(ToNs(*deadline)) - static_cast<int64_t>(at_ns);
+}
+
+/// Common wide-event header shared by every terminal outcome.
+obs::WideEvent BaseEvent(const obs::RequestContext& ctx,
+                         obs::WideOutcome outcome, bool has_deadline,
+                         size_t question_bytes) {
+  obs::WideEvent event;
+  event.trace_id = ctx.trace_id;
+  event.admit_ns = ctx.admit_ns;
+  event.outcome = outcome;
+  event.has_deadline = has_deadline;
+  event.question_bytes = static_cast<uint32_t>(question_bytes);
+  return event;
+}
+
 ServingOptions Sanitize(ServingOptions options) {
   if (options.num_workers < 1) options.num_workers = 1;
   if (options.max_queue_depth < 1) options.max_queue_depth = 1;
@@ -76,11 +107,20 @@ Status Server::Submit(std::string question, const core::AnswerOptions& options,
     request.options.deadline = request.enqueue_time + *options_.default_timeout;
   }
   request.charge_bytes = request.question.size() + sizeof(Request);
+  // The wide-event sampling decision is fixed at admission so every layer
+  // downstream sees a consistent answer, and so rejections are sampled at
+  // the same rate as served requests.
+  if (obs::WideEvents::Sample()) {
+    request.ctx.sampled = true;
+    request.ctx.trace_id = obs::WideEvents::NextTraceId();
+    request.ctx.admit_ns = ToNs(request.enqueue_time);
+  }
   {
     MutexLock lock(mu_);
     if (stopping_) {
       rejected_.Add(1);
       KBQA_COUNTER_ADD("online.serve.rejected", 1);
+      RecordRejected(request);
       return Status::Unavailable("server shutting down");
     }
     if (queue_.size() >= options_.max_queue_depth ||
@@ -88,6 +128,7 @@ Status Server::Submit(std::string question, const core::AnswerOptions& options,
          queue_bytes_ + request.charge_bytes > options_.max_queue_bytes)) {
       rejected_.Add(1);
       KBQA_COUNTER_ADD("online.serve.rejected", 1);
+      RecordRejected(request);
       return Status::Unavailable("serving queue full");
     }
     queue_bytes_ += request.charge_bytes;
@@ -138,11 +179,42 @@ ServingStats Server::stats() const {
   return stats;
 }
 
-void Server::CompleteShed(Request* request, Status status) {
+void Server::RecordRejected(const Request& request) {
+  const uint64_t now_ns = obs::NowSteadyNs();
+  if (options_.slo != nullptr) {
+    options_.slo->Record(/*good=*/false, now_ns);
+  }
+  if (!request.ctx.sampled) return;
+  obs::WideEvent event =
+      BaseEvent(request.ctx, obs::WideOutcome::kRejected,
+                request.options.deadline.has_value(), request.question.size());
+  event.total_ns =
+      now_ns > event.admit_ns ? now_ns - event.admit_ns : 0;
+  event.deadline_budget_ns = BudgetNsAt(request.options.deadline, now_ns);
+  obs::WideEvents::Record(event);
+}
+
+void Server::CompleteShed(Request* request, Status status,
+                          obs::WideOutcome outcome) {
   ServeResponse response;
   response.result.status = std::move(status);
-  response.queue_ns =
-      NanosBetween(request->enqueue_time, std::chrono::steady_clock::now());
+  const auto now = std::chrono::steady_clock::now();
+  response.queue_ns = NanosBetween(request->enqueue_time, now);
+  const uint64_t now_ns = ToNs(now);
+  if (options_.slo != nullptr) {
+    options_.slo->Record(/*good=*/false, now_ns);
+  }
+  if (request->ctx.sampled) {
+    // A shed request never entered the pipeline: its whole life was queue
+    // wait, and it carries zero stage records by construction.
+    obs::WideEvent event = BaseEvent(request->ctx, outcome,
+                                     request->options.deadline.has_value(),
+                                     request->question.size());
+    event.queue_wait_ns = response.queue_ns;
+    event.total_ns = response.queue_ns;
+    event.deadline_budget_ns = BudgetNsAt(request->options.deadline, now_ns);
+    obs::WideEvents::Record(event);
+  }
   request->done(std::move(response));
 }
 
@@ -184,7 +256,8 @@ void Server::BatcherLoop() {
   for (Request& request : leftover) {
     shed_shutdown_.Add(1);
     KBQA_COUNTER_ADD("online.serve.shed_shutdown", 1);
-    CompleteShed(&request, Status::Unavailable("server shutting down"));
+    CompleteShed(&request, Status::Unavailable("server shutting down"),
+                 obs::WideOutcome::kShedShutdown);
   }
 }
 
@@ -206,7 +279,8 @@ void Server::Dispatch(std::vector<Request> batch) {
         shed_expired_.Add(1);
         KBQA_COUNTER_ADD("online.serve.shed_expired", 1);
         CompleteShed(&request,
-                     Status::DeadlineExceeded("deadline expired in queue"));
+                     Status::DeadlineExceeded("deadline expired in queue"),
+                     obs::WideOutcome::kShedExpired);
       } else {
         if (kept != i) batch[kept] = std::move(request);
         ++kept;
@@ -269,13 +343,21 @@ void Server::Dispatch(std::vector<Request> batch) {
         for (size_t i = range.begin; i < range.end; ++i) {
           Request& request = state->requests[i];
           const auto start = std::chrono::steady_clock::now();
+          if (request.ctx.sampled) {
+            // Anchor the stage clock at the service-start reading the
+            // server already took: stage intervals then live strictly
+            // inside [start, end), so their sum can never exceed the
+            // service_ns measured from the same readings.
+            request.ctx.StartClockAt(ToNs(start));
+            request.options.request_context = &request.ctx;
+          }
           ServeResponse response;
           response.queue_ns =
               NanosBetween(request.enqueue_time, state->dispatch_time);
           response.batch_size = state->requests.size();
           response.result = handler_(request.question, request.options);
-          response.service_ns =
-              NanosBetween(start, std::chrono::steady_clock::now());
+          const auto end = std::chrono::steady_clock::now();
+          response.service_ns = NanosBetween(start, end);
           completed_.Add(1);
           KBQA_COUNTER_ADD("online.serve.completed", 1);
           KBQA_HISTOGRAM_RECORD("online.serve.queue_wait_ns",
@@ -284,6 +366,40 @@ void Server::Dispatch(std::vector<Request> batch) {
                                 response.service_ns);
           KBQA_HISTOGRAM_RECORD("online.serve.latency_ns",
                                 response.queue_ns + response.service_ns);
+          const Status& st = response.result.status;
+          if (options_.slo != nullptr) {
+            options_.slo->RecordRequest(
+                st.ok(), NanosBetween(request.enqueue_time, end), ToNs(end));
+          }
+          if (request.ctx.sampled) {
+            obs::WideOutcome outcome;
+            if (st.ok()) {
+              outcome = response.result.answered
+                            ? obs::WideOutcome::kAnswered
+                            : obs::WideOutcome::kUnanswered;
+            } else if (st.code() == StatusCode::kDeadlineExceeded) {
+              outcome = obs::WideOutcome::kDeadlineExceeded;
+            } else {
+              outcome = obs::WideOutcome::kError;
+            }
+            obs::WideEvent event =
+                BaseEvent(request.ctx, outcome,
+                          request.options.deadline.has_value(),
+                          request.question.size());
+            event.batch_size =
+                static_cast<uint32_t>(state->requests.size());
+            event.queue_wait_ns = response.queue_ns;
+            event.batch_wait_ns =
+                NanosBetween(state->dispatch_time, start);
+            event.service_ns = response.service_ns;
+            event.total_ns = NanosBetween(request.enqueue_time, end);
+            // Budget at the decision point: what remained when the batch
+            // was handed to the pool (the moment shedding last looked).
+            event.deadline_budget_ns = BudgetNsAt(
+                request.options.deadline, ToNs(state->dispatch_time));
+            event.StampFrom(request.ctx);
+            obs::WideEvents::Record(event);
+          }
           request.done(std::move(response));
         }
       },

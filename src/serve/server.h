@@ -13,6 +13,8 @@
 
 #include "core/online.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/wide_event.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -49,6 +51,10 @@ struct ServingOptions {
   /// stalls (leaving requests queued, where admission control sees them)
   /// once this many are unfinished. 0 = num_workers.
   size_t max_inflight_batches = 0;
+  /// Optional SLO burn-rate monitor (must outlive the server). Every
+  /// terminal outcome — answered, error, rejected, shed — is recorded as
+  /// good/bad against its spec, independent of wide-event sampling.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// The outcome of one served request, delivered to its callback.
@@ -141,13 +147,22 @@ class Server {
     Callback done;
     std::chrono::steady_clock::time_point enqueue_time;
     uint64_t charge_bytes = 0;
+    /// Request-scoped telemetry (DESIGN.md §8): the sampling decision and
+    /// trace id are fixed at admission; the context then travels by value
+    /// with the request and is stamped by every layer it crosses. Exactly
+    /// one wide event is emitted per terminal outcome.
+    obs::RequestContext ctx;
   };
 
   void BatcherLoop();
   /// Completes a request without entering the pipeline (expired in queue
-  /// or shutdown shed).
-  static void CompleteShed(Request* request, Status status);
+  /// or shutdown shed), emitting its terminal wide event and SLO record.
+  void CompleteShed(Request* request, Status status,
+                    obs::WideOutcome outcome);
   void Dispatch(std::vector<Request> batch);
+  /// Terminal accounting for an admission-rejected request (never queued,
+  /// callback never invoked — but still exactly one wide event).
+  void RecordRejected(const Request& request);
 
   const Handler handler_;
   const ServingOptions options_;

@@ -1,5 +1,8 @@
 #include "util/memory_budget.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -49,6 +52,20 @@ void MemoryBudget::PublishBudgets() const {
     obs::MetricsRegistry::Global().GetGauge(gauge)->Set(
         static_cast<double>(slices_[i]));
   }
+}
+
+uint64_t ProcessResidentBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;     // NOLINT(runtime/int)
+  unsigned long long resident_pages = 0; // NOLINT(runtime/int)
+  const int matched =
+      std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);  // NOLINT(runtime/int)
+  if (page <= 0) return 0;
+  return resident_pages * static_cast<uint64_t>(page);
 }
 
 }  // namespace kbqa::util

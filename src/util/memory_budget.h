@@ -52,6 +52,11 @@ class MemoryBudget {
   std::vector<uint64_t> slices_;  // parallel to components_
 };
 
+/// Current process resident-set size in bytes (Linux /proc/self/statm;
+/// 0 where unavailable). Ground truth the mem.* accounting gauges are
+/// compared against on /statusz.
+uint64_t ProcessResidentBytes();
+
 }  // namespace kbqa::util
 
 #endif  // KBQA_UTIL_MEMORY_BUDGET_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "corpus/world_generator.h"
+#include "obs/wide_event.h"
 #include "rdf/expanded_predicate.h"
 #include "util/status.h"
 
@@ -113,6 +114,46 @@ TEST(CompressedExpandedKbTest, ReadsAreBitIdenticalToUncompressed) {
       EXPECT_FALSE(c.value().TryObjects(s, 0, &objects));
     }
   }
+}
+
+TEST(CompressedExpandedKbTest, BlockTrafficStampsCurrentRequestContext) {
+  // The pager is too deep for a context parameter: a sampled request's
+  // block-cache traffic reaches its wide event via the thread-local
+  // binding (obs::ScopedRequestContext, DESIGN.md §8).
+  Built b = BuildWorldAndExpansion();
+  CompressedExpandedKb::Options options;
+  options.target_block_edges = 256;
+  auto first = CompressedExpandedKb::FromExpanded(b.ekb, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::vector<std::pair<PathId, TermId>> run;
+  const TermId subject = b.ekb.Subjects().front();
+
+  // Unbound read: decodes the block, stamps nothing, crashes nothing.
+  ASSERT_TRUE(first.value().CopyOut(subject, &run));
+  obs::RequestContext hit_ctx;
+  {
+    obs::ScopedRequestContext scope(&hit_ctx);
+    ASSERT_TRUE(first.value().CopyOut(subject, &run));
+  }
+  EXPECT_EQ(hit_ctx.block_cache_hits, 1u);  // decoded above, now resident
+  EXPECT_EQ(hit_ctx.block_cache_misses, 0u);
+  EXPECT_EQ(hit_ctx.blocks_decoded, 0u);
+
+  // A fresh instance under the binding: the first read is a miss+decode.
+  auto second = CompressedExpandedKb::FromExpanded(b.ekb, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  obs::RequestContext miss_ctx;
+  {
+    obs::ScopedRequestContext scope(&miss_ctx);
+    ASSERT_TRUE(second.value().CopyOut(subject, &run));
+  }
+  EXPECT_EQ(miss_ctx.block_cache_hits, 0u);
+  EXPECT_EQ(miss_ctx.block_cache_misses, 1u);
+  EXPECT_EQ(miss_ctx.blocks_decoded, 1u);
+
+  // Once the scope ends the binding is gone: counters stay put.
+  ASSERT_TRUE(second.value().CopyOut(subject, &run));
+  EXPECT_EQ(miss_ctx.block_cache_hits, 0u);
 }
 
 TEST(CompressedExpandedKbTest, CompressesBelowRawResidency) {

@@ -13,6 +13,8 @@
 
 #include "obs/exposition.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/wide_event.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -121,6 +123,32 @@ TEST(HistogramTest, ValueAtQuantileEdgeCases) {
   EXPECT_EQ(snap.histogram("huge")->ValueAtQuantile(0.99),
             obs::Histogram::UpperBound(62) + 1);
   EXPECT_EQ(snap.histogram("empty")->ValueAtQuantile(0.5), 0u);
+}
+
+TEST(HistogramTest, MaxQuantileNeverBelowRecordedMax) {
+  // Regression: the max quantile used to interpolate to the covering
+  // bucket's *lower* bound on sparse histograms, reporting a "max" below a
+  // recorded value. q=1.0 must come back >= the largest recorded value.
+  obs::MetricsRegistry registry;
+  obs::Histogram* single = registry.GetHistogram("single");
+  single->Record(1500);  // bucket [1024, 2047]
+  obs::Histogram* huge = registry.GetHistogram("huge");
+  huge->Record(UINT64_MAX);  // the unbounded overflow bucket
+  obs::Histogram* pair = registry.GetHistogram("pair");
+  pair->Record(3);
+  pair->Record(40);  // bucket [32, 63]
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  // Single sample: sum==max, so the clamp reports the value exactly.
+  EXPECT_EQ(snap.histogram("single")->ValueAtQuantile(1.0), 1500u);
+  // Values past 2^62 saturate the sum cap but must still not round down
+  // below the bucket floor.
+  EXPECT_GE(snap.histogram("huge")->ValueAtQuantile(1.0),
+            obs::Histogram::UpperBound(62) + 1);
+  // Multi-sample: sum (43) caps the top-bucket estimate, still >= 40.
+  EXPECT_GE(snap.histogram("pair")->ValueAtQuantile(1.0), 40u);
+  EXPECT_LE(snap.histogram("pair")->ValueAtQuantile(1.0), 43u);
+  // Lower quantiles keep their interpolated (not clamped) behavior.
+  EXPECT_LE(snap.histogram("pair")->ValueAtQuantile(0.25), 3u);
 }
 
 // The tentpole determinism contract: a snapshot depends only on the set of
@@ -364,6 +392,245 @@ TEST(TracingTest, WriteSpanSummaryListsTopSpans) {
   std::ostringstream os;
   obs::Tracing::WriteSpanSummary(os, 100);
   EXPECT_NE(os.str().find("summary.span"), std::string::npos);
+}
+
+// ---- wide events (DESIGN.md §8) ----------------------------------------
+
+TEST(WideEventTest, RecordDrainRoundTrip) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::WideEvents::ResetForTest();
+  obs::WideEvent a;
+  a.trace_id = 7;
+  a.admit_ns = 100;
+  a.outcome = obs::WideOutcome::kAnswered;
+  a.has_deadline = true;
+  a.batch_size = 3;
+  a.question_bytes = 42;
+  a.queue_wait_ns = 1000;
+  a.batch_wait_ns = 200;
+  a.service_ns = 5000;
+  a.total_ns = 6200;
+  a.deadline_budget_ns = -1500;  // negative budgets survive the bit-cast
+  a.stages[static_cast<size_t>(obs::WideStage::kNer)] = {111, 1};
+  a.stages[static_cast<size_t>(obs::WideStage::kRank)] = {222, 2};
+  a.value_cache_hits = 9;
+  a.block_cache_misses = 4;
+  a.blocks_decoded = 4;
+  obs::WideEvent b;
+  b.trace_id = 8;
+  b.admit_ns = 50;  // earlier admission sorts first
+  b.outcome = obs::WideOutcome::kShedExpired;
+  obs::WideEvents::Record(a);
+  obs::WideEvents::Record(b);
+  EXPECT_EQ(obs::WideEvents::TotalRecorded(), 2u);
+
+  const std::vector<obs::WideEvent> drained = obs::WideEvents::Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].trace_id, 8u);
+  EXPECT_EQ(drained[1].trace_id, 7u);
+  const obs::WideEvent& got = drained[1];
+  EXPECT_EQ(got.outcome, obs::WideOutcome::kAnswered);
+  EXPECT_TRUE(got.has_deadline);
+  EXPECT_EQ(got.batch_size, 3u);
+  EXPECT_EQ(got.question_bytes, 42u);
+  EXPECT_EQ(got.queue_wait_ns, 1000u);
+  EXPECT_EQ(got.batch_wait_ns, 200u);
+  EXPECT_EQ(got.service_ns, 5000u);
+  EXPECT_EQ(got.total_ns, 6200u);
+  EXPECT_EQ(got.deadline_budget_ns, -1500);
+  EXPECT_EQ(got.stages[static_cast<size_t>(obs::WideStage::kNer)].ns, 111u);
+  EXPECT_EQ(got.stages[static_cast<size_t>(obs::WideStage::kNer)].count, 1u);
+  EXPECT_EQ(got.stages[static_cast<size_t>(obs::WideStage::kRank)].count, 2u);
+  EXPECT_EQ(got.value_cache_hits, 9u);
+  EXPECT_EQ(got.block_cache_misses, 4u);
+  EXPECT_EQ(got.blocks_decoded, 4u);
+
+  // A drain consumes: nothing left.
+  EXPECT_TRUE(obs::WideEvents::Drain().empty());
+}
+
+TEST(WideEventTest, JsonLineCarriesSchema) {
+  obs::WideEvent e;
+  e.trace_id = 12;
+  e.outcome = obs::WideOutcome::kDeadlineExceeded;
+  e.deadline_budget_ns = -5;
+  e.stages[static_cast<size_t>(obs::WideStage::kScore)] = {77, 3};
+  const std::string json = e.ToJsonLine();
+  for (const char* key :
+       {"\"trace_id\":12", "\"outcome\":\"deadline_exceeded\"",
+        "\"deadline_budget_ns\":-5", "\"queue_wait_ns\":", "\"batch_wait_ns\":",
+        "\"service_ns\":", "\"total_ns\":", "\"stages\":{\"ner\":",
+        "\"score\":{\"ns\":77,\"count\":3}", "\"value_cache\":{\"hits\":",
+        "\"answer_cache\":", "\"block_cache\":", "\"decoded\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(WideEventTest, DropCountsEventsOverwrittenBeforeDrain) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::WideEvents::ResetForTest();
+  obs::WideEvent e;
+  const size_t extra = 100;
+  for (size_t i = 0; i < obs::WideEvents::kRingCapacity + extra; ++i) {
+    e.trace_id = i + 1;
+    obs::WideEvents::Record(e);
+  }
+  const std::vector<obs::WideEvent> drained = obs::WideEvents::Drain();
+  EXPECT_EQ(drained.size(), obs::WideEvents::kRingCapacity);
+  EXPECT_EQ(obs::WideEvents::Dropped(), extra);
+  // The survivors are the newest capacity-many events.
+  EXPECT_EQ(drained.front().trace_id, extra + 1);
+}
+
+TEST(WideEventTest, SamplePeriodIsExactPerThread) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::WideEvents::ResetForTest();
+  obs::WideEvents::SetSamplePeriod(4);
+  int sampled = 0;
+  // One-in-four with a per-thread countdown: exactly 100 of 400 regardless
+  // of the countdown's starting phase.
+  for (int i = 0; i < 400; ++i) sampled += obs::WideEvents::Sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);
+  obs::WideEvents::SetSamplePeriod(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(obs::WideEvents::Sample());
+  obs::WideEvents::SetSamplePeriod(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(obs::WideEvents::Sample());
+  obs::WideEvents::ResetForTest();
+}
+
+TEST(WideEventTest, RecentIsNonConsumingAndBounded) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::WideEvents::ResetForTest();
+  obs::WideEvent e;
+  for (uint64_t i = 0; i < 10; ++i) {
+    e.trace_id = i + 1;
+    e.admit_ns = i + 1;
+    obs::WideEvents::Record(e);
+  }
+  EXPECT_EQ(obs::WideEvents::Recent(100).size(), 10u);
+  const std::vector<obs::WideEvent> last3 = obs::WideEvents::Recent(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3.back().trace_id, 10u);  // newest last
+  // Recent did not consume: a drain still sees everything.
+  EXPECT_EQ(obs::WideEvents::Drain().size(), 10u);
+}
+
+TEST(RequestContextTest, ChainedMarksAreDisjointAndBounded) {
+  obs::RequestContext ctx;
+  // An unanchored context charges nothing on its first mark.
+  ctx.Mark(obs::WideStage::kNer);
+  EXPECT_EQ(ctx.stages[static_cast<size_t>(obs::WideStage::kNer)].ns, 0u);
+  EXPECT_EQ(ctx.stages[static_cast<size_t>(obs::WideStage::kNer)].count, 1u);
+
+  obs::RequestContext timed;
+  const uint64_t start = obs::NowSteadyNs();
+  timed.StartClockAt(start);
+  for (int i = 0; i < 100; ++i) timed.Mark(obs::WideStage::kTemplateMatch);
+  const uint64_t mid = obs::NowSteadyNs();
+  timed.AddTimedSince(obs::WideStage::kValueLookup, mid);
+  timed.Mark(obs::WideStage::kScore);
+  const uint64_t elapsed = obs::NowSteadyNs() - start;
+  // Chained intervals are disjoint, so their sum is bounded by wall time
+  // measured on the same clock — the invariant the server relies on.
+  EXPECT_LE(timed.StageNsSum(), elapsed);
+}
+
+TEST(ScopedRequestContextTest, NullBindingDoesNotMaskOuter) {
+  obs::RequestContext outer;
+  EXPECT_EQ(obs::CurrentRequestContext(), nullptr);
+  {
+    obs::ScopedRequestContext bind_outer(&outer);
+    EXPECT_EQ(obs::CurrentRequestContext(), &outer);
+    {
+      // A nested unsampled request (null ctx) must not hide the outer one.
+      obs::ScopedRequestContext bind_null(nullptr);
+      EXPECT_EQ(obs::CurrentRequestContext(), &outer);
+    }
+    EXPECT_EQ(obs::CurrentRequestContext(), &outer);
+  }
+  EXPECT_EQ(obs::CurrentRequestContext(), nullptr);
+}
+
+// ---- SLO burn-rate monitor ----------------------------------------------
+
+constexpr uint64_t kNsPerS = 1'000'000'000ull;
+
+obs::SloSpec TestSpec() {
+  obs::SloSpec spec;
+  spec.availability_target = 0.99;  // 1% error budget
+  spec.latency_threshold_ns = 1'000'000;
+  spec.short_window_s = 60;
+  spec.long_window_s = 600;
+  spec.burn_rate_threshold = 9.5;
+  return spec;
+}
+
+TEST(SloMonitorTest, BurnRateAndMultiWindowFiring) {
+  obs::SloMonitor slo(TestSpec());
+  const uint64_t t0 = 10'000 * kNsPerS;
+  // 90 good + 10 bad in the last minute: 10% bad / 1% budget = burn 10.
+  for (int i = 0; i < 90; ++i) slo.Record(true, t0);
+  for (int i = 0; i < 10; ++i) slo.Record(false, t0);
+  obs::SloEvaluation eval = slo.Evaluate(t0);
+  EXPECT_NEAR(eval.short_burn_rate, 10.0, 1e-9);
+  EXPECT_NEAR(eval.long_burn_rate, 10.0, 1e-9);
+  EXPECT_EQ(eval.short_good, 90u);
+  EXPECT_EQ(eval.short_bad, 10u);
+  EXPECT_TRUE(eval.firing);  // both windows above threshold
+
+  // Ten minutes later the bad burst has left the short window but not the
+  // long one: the multi-window rule stops firing (incident recovered).
+  const uint64_t t1 = t0 + 300 * kNsPerS;
+  for (int i = 0; i < 100; ++i) slo.Record(true, t1);
+  eval = slo.Evaluate(t1);
+  EXPECT_DOUBLE_EQ(eval.short_burn_rate, 0.0);
+  EXPECT_GT(eval.long_burn_rate, 0.0);
+  EXPECT_FALSE(eval.firing);
+
+  // Past the long window everything expires.
+  eval = slo.Evaluate(t1 + 601 * kNsPerS);
+  EXPECT_DOUBLE_EQ(eval.long_burn_rate, 0.0);
+  EXPECT_EQ(eval.long_good + eval.long_bad, 0u);
+
+  // Lifetime totals never expire.
+  EXPECT_EQ(slo.TotalGood(), 190u);
+  EXPECT_EQ(slo.TotalBad(), 10u);
+}
+
+TEST(SloMonitorTest, RecordRequestAppliesLatencyCriterion) {
+  obs::SloMonitor slo(TestSpec());
+  const uint64_t t0 = 20'000 * kNsPerS;
+  slo.RecordRequest(/*ok=*/true, /*total_latency_ns=*/500'000, t0);   // good
+  slo.RecordRequest(/*ok=*/true, /*total_latency_ns=*/2'000'000, t0);  // slow
+  slo.RecordRequest(/*ok=*/false, /*total_latency_ns=*/100, t0);       // error
+  const obs::SloEvaluation eval = slo.Evaluate(t0);
+  EXPECT_EQ(eval.short_good, 1u);
+  EXPECT_EQ(eval.short_bad, 2u);
+  EXPECT_EQ(slo.TotalGood(), 1u);
+  EXPECT_EQ(slo.TotalBad(), 2u);
+}
+
+TEST(SloMonitorTest, PublishGaugesExportsSloSeries) {
+  obs::MetricsRegistry::set_enabled(true);
+  obs::SloMonitor slo(TestSpec());
+  const uint64_t t0 = 30'000 * kNsPerS;
+  for (int i = 0; i < 9; ++i) slo.Record(true, t0);
+  slo.Record(false, t0);
+  slo.PublishGauges(t0);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const auto gauge = [&snap](const std::string& name) -> double {
+    for (const auto& g : snap.gauges) {
+      if (g.name == name) return g.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1;
+  };
+  EXPECT_NEAR(gauge("slo.burn_rate_short"), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(gauge("slo.window_short_good"), 9.0);
+  EXPECT_DOUBLE_EQ(gauge("slo.window_short_bad"), 1.0);
+  EXPECT_DOUBLE_EQ(gauge("slo.firing"), 1.0);
+  EXPECT_DOUBLE_EQ(gauge("slo.good_total"), 9.0);
+  EXPECT_DOUBLE_EQ(gauge("slo.bad_total"), 1.0);
 }
 
 #endif  // KBQA_OBS_DISABLED

@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/wide_event.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
 #include "serve/server.h"
@@ -337,7 +338,10 @@ TEST(RaceStressTest, ServeHammerSubmittersAgainstBatcherAndTeardown) {
   // immediate teardown; the small queue forces the admission-control path
   // concurrently with accepts. The invariant under all interleavings:
   // every *accepted* request's callback runs exactly once (completed or
-  // shed at shutdown), every rejected one's never runs.
+  // shed at shutdown), every rejected one's never runs — and every
+  // submitted request (accepted or not) leaves exactly one wide event,
+  // even when teardown resolves it.
+  obs::WideEvents::ResetForTest();
   for (int round = 0; round < 20; ++round) {
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> callbacks{0};
@@ -370,6 +374,25 @@ TEST(RaceStressTest, ServeHammerSubmittersAgainstBatcherAndTeardown) {
       // requests still queued.
     }
     ASSERT_EQ(callbacks.load(), accepted.load());
+    // Exactly-once emission through teardown: 800 submissions -> 800 wide
+    // events, with accepted requests split between answered and
+    // shutdown-shed exactly as their callbacks resolved, and every
+    // rejection accounted for. (Ring capacity 2048/thread: no drops.)
+    const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+    ASSERT_EQ(events.size(), 4u * 200u);
+    uint64_t answered = 0, shed = 0, rejected = 0, other = 0;
+    for (const obs::WideEvent& e : events) {
+      switch (e.outcome) {
+        case obs::WideOutcome::kAnswered: ++answered; break;
+        case obs::WideOutcome::kShedShutdown: ++shed; break;
+        case obs::WideOutcome::kShedExpired: ++shed; break;
+        case obs::WideOutcome::kRejected: ++rejected; break;
+        default: ++other; break;
+      }
+    }
+    ASSERT_EQ(other, 0u);
+    ASSERT_EQ(answered + shed, accepted.load());
+    ASSERT_EQ(rejected, 4u * 200u - accepted.load());
   }
 }
 

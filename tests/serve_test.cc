@@ -7,8 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -18,6 +25,9 @@
 #include "core/online.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/wide_event.h"
+#include "serve/exposition.h"
 #include "serve/server.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -345,6 +355,323 @@ TEST(ServeTest, SubmitAfterShutdownStartsIsRejected) {
   EXPECT_EQ(collector.Count(), 3u);
 }
 
+// ---------- Wide events (DESIGN.md §8) ----------
+
+size_t CountOutcome(const std::vector<obs::WideEvent>& events,
+                    obs::WideOutcome outcome) {
+  size_t n = 0;
+  for (const obs::WideEvent& e : events) n += e.outcome == outcome ? 1 : 0;
+  return n;
+}
+
+TEST(WideEventServeTest, EveryServedOutcomeEmitsExactlyOneEvent) {
+  obs::WideEvents::ResetForTest();
+  ServingOptions options;
+  options.num_workers = 2;
+  Collector collector;
+  {
+    Server server(
+        [](const std::string& question, const core::AnswerOptions&) {
+          core::AnswerResult result;
+          if (question == "ok") {
+            result.answered = true;
+          } else if (question == "late") {
+            result.status = Status::DeadlineExceeded("clipped");
+          } else if (question == "boom") {
+            result.status = Status::Internal("handler failure");
+          }
+          return result;  // "none": ok status, unanswered
+        },
+        options);
+    for (const char* q : {"ok", "none", "late", "boom"}) {
+      ASSERT_TRUE(server.Submit(q, collector.Add()).ok());
+    }
+    collector.WaitForCount(4);
+  }
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kAnswered), 1u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kUnanswered), 1u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kDeadlineExceeded), 1u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kError), 1u);
+  std::vector<uint64_t> trace_ids;
+  for (const obs::WideEvent& e : events) {
+    EXPECT_NE(e.trace_id, 0u);
+    trace_ids.push_back(e.trace_id);
+    // The latency decomposition invariants: stage sums live inside the
+    // handler's service time, and queue + batch + service fit inside the
+    // end-to-end total (all measured on one clock).
+    EXPECT_LE(e.StageNsSum(), e.service_ns);
+    EXPECT_LE(e.queue_wait_ns + e.batch_wait_ns + e.service_ns, e.total_ns);
+    EXPECT_GT(e.total_ns, 0u);
+    EXPECT_GE(e.batch_size, 1u);
+    EXPECT_FALSE(e.has_deadline);
+  }
+  std::sort(trace_ids.begin(), trace_ids.end());
+  EXPECT_EQ(std::unique(trace_ids.begin(), trace_ids.end()),
+            trace_ids.end());
+}
+
+// Satellite: a request shed while queued must carry its queue wait, zero
+// stage records (it never entered the pipeline), and outcome=shed_expired.
+TEST(WideEventServeTest, InQueueShedCarriesQueueWaitAndZeroStages) {
+  obs::WideEvents::ResetForTest();
+  GatedHandler gate;
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 1;
+  options.max_inflight_batches = 1;
+  options.max_batch_wait = std::chrono::microseconds(0);
+  Collector collector;
+  {
+    Server server(gate.AsHandler(), options);
+    ASSERT_TRUE(server.Submit("r0", collector.Add()).ok());
+    while (gate.entered.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    core::AnswerOptions expired;
+    expired.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    ASSERT_TRUE(server.Submit("r1", expired, collector.Add()).ok());
+    collector.WaitForCount(2);
+    gate.Open();
+    collector.WaitForCount(2);
+  }
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(CountOutcome(events, obs::WideOutcome::kShedExpired), 1u);
+  for (const obs::WideEvent& e : events) {
+    if (e.outcome != obs::WideOutcome::kShedExpired) continue;
+    EXPECT_GT(e.queue_wait_ns, 0u);
+    EXPECT_EQ(e.service_ns, 0u);
+    EXPECT_EQ(e.batch_wait_ns, 0u);
+    EXPECT_EQ(e.total_ns, e.queue_wait_ns);
+    EXPECT_TRUE(e.has_deadline);
+    EXPECT_LE(e.deadline_budget_ns, 0);  // it was shed *because* it expired
+    EXPECT_EQ(e.StageNsSum(), 0u);
+    for (const obs::StageRecord& stage : e.stages) {
+      EXPECT_EQ(stage.count, 0u);
+    }
+  }
+}
+
+// Satellite: an admission-rejected request — whose callback never runs —
+// still produces exactly one wide event, tagged rejected.
+TEST(WideEventServeTest, AdmissionRejectionEmitsRejectedEvent) {
+  obs::WideEvents::ResetForTest();
+  GatedHandler gate;
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 1;
+  options.max_inflight_batches = 1;
+  options.max_queue_depth = 1;
+  options.max_batch_wait = std::chrono::microseconds(0);
+  Collector collector;
+  std::atomic<bool> rejected_callback_ran{false};
+  {
+    Server server(gate.AsHandler(), options);
+    ASSERT_TRUE(server.Submit("r0", collector.Add()).ok());
+    while (gate.entered.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(server.Submit("r1", collector.Add()).ok());
+    WaitForQueueDrained(server);
+    ASSERT_TRUE(server.Submit("r2", collector.Add()).ok());
+    const Status rejected = server.Submit(
+        "overflow", [&](ServeResponse) { rejected_callback_ran = true; });
+    ASSERT_EQ(rejected.code(), StatusCode::kUnavailable);
+    gate.Open();
+    collector.WaitForCount(3);
+  }
+  EXPECT_FALSE(rejected_callback_ran.load());
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kAnswered), 3u);
+  ASSERT_EQ(CountOutcome(events, obs::WideOutcome::kRejected), 1u);
+  for (const obs::WideEvent& e : events) {
+    if (e.outcome != obs::WideOutcome::kRejected) continue;
+    EXPECT_EQ(e.question_bytes, std::string("overflow").size());
+    EXPECT_EQ(e.service_ns, 0u);
+    EXPECT_EQ(e.StageNsSum(), 0u);
+  }
+}
+
+TEST(WideEventServeTest, ShutdownShedsEmitShedShutdownEvents) {
+  obs::WideEvents::ResetForTest();
+  GatedHandler gate;
+  Collector collector;
+  {
+    ServingOptions options;
+    options.num_workers = 1;
+    options.max_batch_size = 1;
+    options.max_inflight_batches = 1;
+    options.max_batch_wait = std::chrono::microseconds(0);
+    Server server(gate.AsHandler(), options);
+    ASSERT_TRUE(server.Submit("r0", collector.Add()).ok());
+    while (gate.entered.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(
+          server.Submit("r" + std::to_string(i), collector.Add()).ok());
+    }
+    std::thread opener([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      gate.Open();
+    });
+    opener.detach();
+  }
+  ASSERT_EQ(collector.Count(), 4u);
+  // Exactly one event per accepted request, split between served and
+  // shutdown-shed exactly as the callbacks were.
+  size_t ok = 0;
+  {
+    MutexLock lock(collector.mu);
+    for (const ServeResponse& response : collector.responses) {
+      ok += response.result.status.ok() ? 1 : 0;
+    }
+  }
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kAnswered), ok);
+  EXPECT_EQ(CountOutcome(events, obs::WideOutcome::kShedShutdown), 4 - ok);
+}
+
+TEST(WideEventServeTest, SamplePeriodZeroSuppressesAllEvents) {
+  obs::WideEvents::ResetForTest();
+  obs::WideEvents::SetSamplePeriod(0);
+  ServingOptions options;
+  Server server(
+      [](const std::string& question, const core::AnswerOptions&) {
+        return EchoResult(question);
+      },
+      options);
+  EXPECT_TRUE(server.Answer("q").result.status.ok());
+  EXPECT_TRUE(obs::WideEvents::Drain().empty());
+  obs::WideEvents::SetSamplePeriod(1);
+}
+
+TEST(SloServeTest, TerminalOutcomesFeedTheSloMonitorUnsampled) {
+  obs::WideEvents::ResetForTest();
+  // Sampling off: SLO accounting must still see every terminal outcome.
+  obs::WideEvents::SetSamplePeriod(0);
+  obs::SloSpec spec;
+  spec.latency_threshold_ns = 0;  // no latency criterion in this test
+  obs::SloMonitor slo(spec);
+  GatedHandler gate;
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 1;
+  options.max_inflight_batches = 1;
+  options.max_batch_wait = std::chrono::microseconds(0);
+  options.slo = &slo;
+  Collector collector;
+  {
+    Server server(gate.AsHandler(), options);
+    ASSERT_TRUE(server.Submit("r0", collector.Add()).ok());
+    while (gate.entered.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    core::AnswerOptions expired;
+    expired.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    ASSERT_TRUE(server.Submit("r1", expired, collector.Add()).ok());
+    collector.WaitForCount(2);  // r1 shed while r0 is still gated
+    gate.Open();
+    collector.WaitForCount(2);
+  }
+  obs::WideEvents::SetSamplePeriod(1);
+  EXPECT_EQ(slo.TotalGood(), 1u);  // r0 served OK
+  EXPECT_EQ(slo.TotalBad(), 1u);   // r1 shed
+}
+
+// ---------- Exposition endpoints ----------
+
+TEST(ExpositionServerTest, HandlePathRoutesAllEndpoints) {
+  obs::WideEvents::ResetForTest();
+  obs::MetricsRegistry::Global().GetCounter("serve.exposition.probe")->Add(1);
+  obs::WideEvent e;
+  e.trace_id = 99;
+  e.outcome = obs::WideOutcome::kAnswered;
+  obs::WideEvents::Record(e);
+  obs::SloMonitor slo(obs::SloSpec{});
+  slo.Record(true, obs::NowSteadyNs());
+  ExpositionOptions options;
+  options.slo = &slo;
+  options.statusz_extra = [](std::string* out) { *out += "extra: yes\n"; };
+
+  int status = 0;
+  std::string type;
+  std::string body =
+      ExpositionServer::HandlePath(options, "/", &status, &type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("/metricsz"), std::string::npos);
+
+  body = ExpositionServer::HandlePath(options, "/metricsz", &status, &type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("serve.exposition.probe"), std::string::npos);
+  body = ExpositionServer::HandlePath(options, "/metricsz?format=json",
+                                      &status, &type);
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+
+  body = ExpositionServer::HandlePath(options, "/statusz", &status, &type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("build.compiler"), std::string::npos);
+  EXPECT_NE(body.find("uptime_s"), std::string::npos);
+  EXPECT_NE(body.find("process.resident_bytes"), std::string::npos);
+  EXPECT_NE(body.find("extra: yes"), std::string::npos);
+
+  body = ExpositionServer::HandlePath(options, "/eventz?n=5", &status, &type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"trace_id\":99"), std::string::npos);
+
+  body = ExpositionServer::HandlePath(options, "/slo", &status, &type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"short_burn_rate\""), std::string::npos);
+  EXPECT_NE(body.find("\"firing\":false"), std::string::npos);
+
+  body = ExpositionServer::HandlePath(options, "/nosuch", &status, &type);
+  EXPECT_EQ(status, 404);
+
+  // Without an SLO monitor attached, /slo 404s instead of crashing.
+  ExpositionOptions bare;
+  body = ExpositionServer::HandlePath(bare, "/slo", &status, &type);
+  EXPECT_EQ(status, 404);
+}
+
+TEST(ExpositionServerTest, ServesHttpOverARealSocket) {
+  ExpositionOptions options;
+  options.port = 0;  // ephemeral
+  auto started = ExpositionServer::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status();
+  std::unique_ptr<ExpositionServer> server = std::move(started).value();
+  ASSERT_GT(server->port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /statusz HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("build.compiler"), std::string::npos);
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
 // ---------- Engine-backed (Small experiment) ----------
 
 class ServeEngineTest : public ::testing::Test {
@@ -422,6 +749,38 @@ TEST_F(ServeEngineTest, QueueExpiredRequestNeverEntersTemplateMatching) {
                 CounterValue(after_served, "online.serve.shed_expired"),
             1u);
   EXPECT_EQ(server->stats().shed_expired, 1u);
+}
+
+TEST_F(ServeEngineTest, EngineStampsStageRecordsIntoWideEvent) {
+  obs::WideEvents::ResetForTest();
+  auto engine = MakeEngine();
+  ServingOptions options;
+  options.num_workers = 1;
+  auto server = Server::ForEngine(engine.get(), options);
+  ServeResponse response = server->Answer(SomeQuestion());
+  ASSERT_TRUE(response.result.status.ok());
+  server.reset();
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::WideEvent& e = events.front();
+  EXPECT_EQ(e.outcome, response.result.answered
+                           ? obs::WideOutcome::kAnswered
+                           : obs::WideOutcome::kUnanswered);
+  // The engine anchored the stage clock at the server's service-start read
+  // and stamped the pipeline stages: NER always runs, the candidate walk
+  // closes with a template_match mark, and the stage sum fits inside the
+  // service time measured on the same clock.
+  EXPECT_GE(
+      e.stages[static_cast<size_t>(obs::WideStage::kNer)].count, 1u);
+  EXPECT_GE(
+      e.stages[static_cast<size_t>(obs::WideStage::kTemplateMatch)].count,
+      1u);
+  EXPECT_GT(e.StageNsSum(), 0u);
+  EXPECT_LE(e.StageNsSum(), e.service_ns);
+  EXPECT_EQ(e.service_ns, response.service_ns);
+  // First ask through a fresh engine: one whole-question memo miss.
+  EXPECT_EQ(e.answer_cache_misses, 1u);
+  EXPECT_EQ(e.answer_cache_hits, 0u);
 }
 
 }  // namespace
