@@ -16,6 +16,12 @@
 #                             # world sweep (--smoke: compression ratio +
 #                             # paged budget curve + engine bit-identity),
 #                             # and validate the BENCH_memory.json schema
+#   scripts/check.sh --mutation-smoke
+#                             # build bench_mutation, run the Small-world
+#                             # mixed read/write pass (--smoke: reads
+#                             # during forced background merges + the
+#                             # from-scratch-freeze equivalence check),
+#                             # and validate the BENCH_mutation.json schema
 #   scripts/check.sh --obs-smoke
 #                             # wide-event telemetry end to end: run
 #                             # bench_serving --smoke with the exposition
@@ -81,6 +87,15 @@ run_mem_smoke() {
   python3 scripts/validate_bench.py build/BENCH_memory.json
 }
 
+run_mutation_smoke() {
+  echo "== live-mutation smoke (bench_mutation --smoke) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_mutation
+  (cd build && ./bench/bench_mutation --smoke)
+  echo "== BENCH_mutation.json schema =="
+  python3 scripts/validate_bench.py build/BENCH_mutation.json
+}
+
 run_obs_smoke() {
   echo "== obs smoke (bench_serving --smoke --obs-port=0) =="
   cmake -B build -S . >/dev/null
@@ -136,6 +151,10 @@ case "${1:-}" in
     run_mem_smoke
     echo "== OK (mem smoke) =="
     ;;
+  --mutation-smoke)
+    run_mutation_smoke
+    echo "== OK (mutation smoke) =="
+    ;;
   --obs-smoke)
     run_obs_smoke
     echo "== OK (obs smoke) =="
@@ -156,7 +175,7 @@ case "${1:-}" in
     echo "== OK =="
     ;;
   *)
-    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke|--obs-smoke]" >&2
+    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke|--mutation-smoke|--obs-smoke]" >&2
     exit 2
     ;;
 esac

@@ -268,10 +268,61 @@ def validate_memory(doc):
     )
 
 
+# ---- BENCH_mutation.json ----
+
+
+def validate_mutation(doc):
+    for key in ("config", "base", "quiescent", "during_merge", "final",
+                "equivalence"):
+        require(key in doc, f"top-level {key} missing")
+
+    for phase_name in ("quiescent", "during_merge"):
+        phase = doc[phase_name]
+        for key in ("answers", "p50_ns", "p99_ns", "mean_ns"):
+            value = phase.get(key)
+            require(
+                is_number(value) and value >= 0,
+                f"{phase_name}.{key} missing or negative",
+            )
+        require(phase["answers"] > 0, f"{phase_name} answered no questions")
+        require(
+            phase["p50_ns"] <= phase["p99_ns"],
+            f"{phase_name} percentiles not monotone",
+        )
+
+    during = doc["during_merge"]
+    require(during["merges"] >= 1, "no merge completed during the load phase")
+    require(during["ops_applied"] > 0, "no mutation ops applied")
+
+    # Bounded read p99 while the background re-freeze runs: the RCU swap
+    # must never block readers, so the merge-phase p99 stays within a
+    # generous multiple of quiescent (or an absolute 100ms floor that
+    # absorbs tiny-denominator noise in smoke runs).
+    bound = max(100e6, 25 * doc["quiescent"]["p99_ns"])
+    require(
+        during["p99_ns"] <= bound,
+        f"during_merge p99 {during['p99_ns']}ns exceeds bound {bound:.0f}ns",
+    )
+
+    eq = doc["equivalence"]
+    require(
+        eq["kb_bit_identical"] is True,
+        "merged base diverged from the from-scratch freeze",
+    )
+    require(
+        eq["answers_identical"] is True,
+        "live answers diverged from the from-scratch engine",
+    )
+    require(eq["questions"] > 0, "equivalence compared no questions")
+
+    require(doc["final"]["epoch"] >= 1, "final epoch < 1 (no merge published)")
+
+
 VALIDATORS = {
     "BENCH_serving.json": validate_serving,
     "BENCH_memory.json": validate_memory,
     "BENCH_observability.json": validate_observability,
+    "BENCH_mutation.json": validate_mutation,
 }
 
 

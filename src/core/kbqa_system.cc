@@ -189,6 +189,18 @@ std::vector<AnswerResult> KbqaSystem::AnswerAll(
   return online_->AnswerAll(questions, num_threads);
 }
 
+std::unique_ptr<LiveKbqaEngine> KbqaSystem::MakeLiveEngine(
+    rdf::MutableKb* live) const {
+  if (!trained()) return nullptr;
+  LiveKbqaEngine::Options options;
+  options.alias_predicates = world_->alias_predicates;
+  options.online = EffectiveOnlineOptions();
+  const rdf::PathDictionary* paths =
+      loaded_paths_ != nullptr ? loaded_paths_.get() : &ekb_->paths();
+  return std::make_unique<LiveKbqaEngine>(live, &world_->taxonomy, &store_,
+                                          paths, options);
+}
+
 AnswerResult KbqaSystem::AnswerVariant(const std::string& question) const {
   if (variants_ == nullptr) return AnswerResult{};
   return variants_->Answer(question);

@@ -8,6 +8,7 @@
 
 #include "core/decomposer.h"
 #include "core/em_learner.h"
+#include "core/live_engine.h"
 #include "core/model_io.h"
 #include "core/ev_extraction.h"
 #include "core/online.h"
@@ -105,6 +106,16 @@ class KbqaSystem : public QaSystemInterface {
   /// Full pipeline: decompose into a BFQ chain, answer sequentially,
   /// substituting each answer into the next question's $e slot (§5).
   ComplexAnswer AnswerComplex(const std::string& question) const;
+
+  /// Wires a live-mutation serving engine (DESIGN.md §10) over `live`
+  /// from this system's trained artifacts: the taxonomy, template store,
+  /// path dictionary, alias predicates, and arbitrated online options the
+  /// frozen engine uses. `live` is typically seeded with a copy of the
+  /// training world's KB — rdf::RebuildKb keeps base ids stable across
+  /// merges, so the learned distributions stay valid without retraining.
+  /// Requires trained() (returns null otherwise); `live` and this system
+  /// must outlive the returned engine.
+  std::unique_ptr<LiveKbqaEngine> MakeLiveEngine(rdf::MutableKb* live) const;
 
   /// Extension (§1's "variants"): ranking / comparison / listing questions
   /// answered on top of the learned templates. Returns answered == false

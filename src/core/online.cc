@@ -14,7 +14,7 @@ namespace kbqa::core {
 
 namespace {
 
-uint64_t CacheKey(rdf::TermId entity, rdf::PathId path) {
+uint64_t EntityPathKey(rdf::TermId entity, rdf::PathId path) {
   return (static_cast<uint64_t>(entity) << 32) | path;
 }
 
@@ -143,37 +143,55 @@ OnlineInference::OnlineInference(const rdf::KnowledgeBase* kb,
                                  const TemplateStore* store,
                                  const rdf::PathDictionary* paths,
                                  const Options& options,
-                                 const rdf::CompressedExpandedKb* cekb)
+                                 const rdf::CompressedExpandedKb* cekb,
+                                 const rdf::MutableKb* live)
     : kb_(kb),
       taxonomy_(taxonomy),
       ner_(ner),
       store_(store),
       paths_(paths),
       cekb_(cekb),
+      live_(live),
       options_(options),
       value_cache_(options.value_cache_budget_bytes),
       answer_cache_(options.answer_cache_budget_bytes) {}
 
-void OnlineInference::LookupValues(rdf::TermId entity, rdf::PathId path,
+OnlineInference::PinnedKb OnlineInference::PinKb() const {
+  if (live_ == nullptr) return PinnedKb{kb_, nullptr};
+  PinnedKb view;
+  view.snap = live_->Pin();
+  view.kb = view.snap->base.get();
+  return view;
+}
+
+void OnlineInference::LookupValues(const PinnedKb& view, rdf::TermId entity,
+                                   rdf::PathId path,
                                    std::vector<rdf::TermId>* scratch) const {
-  // Both sources produce the same sorted-unique value set: the substrate
-  // materializes exactly the BFS closure ObjectsViaPath walks, so the only
-  // difference is decode-a-block vs re-walk-the-KB. TryObjects returns
-  // false (entity outside the materialized seed set, or a paged block that
-  // went bad underneath us) -> online walk.
+  // Live mode reads the pinned merged view (base minus tombstones plus
+  // overlay adds, identical ordering to a frozen walk — an empty overlay
+  // degenerates to the plain base walk bit-for-bit).
+  if (view.snap != nullptr) {
+    *scratch = view.snap->ObjectsViaPath(entity, paths_->GetPath(path));
+    return;
+  }
+  // Both frozen sources produce the same sorted-unique value set: the
+  // substrate materializes exactly the BFS closure ObjectsViaPath walks,
+  // so the only difference is decode-a-block vs re-walk-the-KB.
+  // TryObjects returns false (entity outside the materialized seed set,
+  // or a paged block that went bad underneath us) -> online walk.
   if (cekb_ != nullptr && cekb_->TryObjects(entity, path, scratch)) return;
-  *scratch = rdf::ObjectsViaPath(*kb_, entity, paths_->GetPath(path));
+  *scratch = rdf::ObjectsViaPath(*view.kb, entity, paths_->GetPath(path));
 }
 
 const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
-    rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
-    CacheTally* tally) const {
+    const PinnedKb& view, rdf::TermId entity, rdf::PathId path,
+    std::vector<rdf::TermId>* scratch, CacheTally* tally) const {
   KBQA_TRACE_SPAN_SAMPLED("answer.value_lookup");
   if (!options_.enable_value_cache) {
-    LookupValues(entity, path, scratch);
+    LookupValues(view, entity, path, scratch);
     return *scratch;
   }
-  const uint64_t key = CacheKey(entity, path);
+  const ValueCacheKey key{view.version(), EntityPathKey(entity, path)};
   if (value_cache_.Get(key, scratch)) {
     ++tally->hits;
     return *scratch;
@@ -185,7 +203,7 @@ const std::vector<rdf::TermId>& OnlineInference::CachedObjects(
   // the request context reaches this depth (see ScopedRequestContext).
   obs::RequestContext* const ctx = obs::CurrentRequestContext();
   const uint64_t miss_begin = ctx != nullptr ? obs::NowSteadyNs() : 0;
-  LookupValues(entity, path, scratch);
+  LookupValues(view, entity, path, scratch);
   // Insert copies the value set; concurrent misses on the same key both
   // computed identical vectors from the immutable KB, and the cache keeps
   // whichever landed first.
@@ -272,13 +290,23 @@ std::vector<AnswerResult> OnlineInference::AnswerAll(
 
 AnswerResult OnlineInference::AnswerCached(
     const std::string& question, const AnswerOptions& answer_options) const {
+  // One pin for key and computation: the memoized entry's version tag can
+  // never disagree with the world that computed it, even if an Apply or a
+  // merge lands between the two.
+  const PinnedKb view = PinKb();
   if (!options_.enable_answer_cache) {
-    return Answer(question, answer_options);
+    return AnswerTokensPinned(nlp::TokenizeQuestion(question), answer_options,
+                              view);
   }
   // Normalized key: whitespace/case/punctuation paraphrases tokenize to
   // the same sequence, so they are the same question to the pipeline and
-  // must be the same entry to the memo.
-  const std::string key = nlp::NormalizeText(question);
+  // must be the same entry to the memo. Live mode prefixes the pinned
+  // version ("v<version>\n" cannot collide with normalized text, which
+  // never contains a newline) so mutations invalidate by key.
+  std::string key = nlp::NormalizeText(question);
+  if (view.snap != nullptr) {
+    key = "v" + std::to_string(view.snap->version) + "\n" + key;
+  }
   AnswerResult result;
   if (answer_cache_.Get(key, &result)) {
     answer_cache_hits_.Add(1);
@@ -288,7 +316,8 @@ AnswerResult OnlineInference::AnswerCached(
     }
     return result;
   }
-  result = Answer(question, answer_options);
+  result = AnswerTokensPinned(nlp::TokenizeQuestion(question),
+                              answer_options, view);
   answer_cache_misses_.Add(1);
   KBQA_COUNTER_ADD("online.answer_cache.misses", 1);
   if (answer_options.request_context != nullptr) {
@@ -315,6 +344,12 @@ AnswerResult OnlineInference::AnswerTokens(
 AnswerResult OnlineInference::AnswerTokens(
     const std::vector<std::string>& tokens,
     const AnswerOptions& answer_options) const {
+  return AnswerTokensPinned(tokens, answer_options, PinKb());
+}
+
+AnswerResult OnlineInference::AnswerTokensPinned(
+    const std::vector<std::string>& tokens,
+    const AnswerOptions& answer_options, const PinnedKb& view) const {
   // All answer spans — including the whole-answer one — record only inside
   // the 1-in-2^k detail windows opened here, keeping the steady-state cost
   // to a few thread-local reads per question. The latency histograms are
@@ -326,8 +361,11 @@ AnswerResult OnlineInference::AnswerTokens(
   // (the compressed-KB pager stamps block traffic through the TLS). No-op
   // when ctx is null.
   obs::ScopedRequestContext request_scope(ctx);
+  if (ctx != nullptr && view.snap != nullptr) {
+    ctx->kb_epoch = view.snap->epoch;
+  }
   CacheTally tally;
-  AnswerResult result = AnswerTokensImpl(tokens, answer_options, &tally);
+  AnswerResult result = AnswerTokensImpl(tokens, answer_options, &tally, view);
   FlushAnswerStats(&result, tally);
   if (ctx != nullptr) {
     ctx->value_cache_hits += static_cast<uint32_t>(tally.hits);
@@ -338,7 +376,8 @@ AnswerResult OnlineInference::AnswerTokens(
 
 AnswerResult OnlineInference::AnswerTokensImpl(
     const std::vector<std::string>& tokens,
-    const AnswerOptions& answer_options, CacheTally* tally) const {
+    const AnswerOptions& answer_options, CacheTally* tally,
+    const PinnedKb& view) const {
   AnswerResult result;
   obs::RequestContext* const ctx = answer_options.request_context;
   if (ctx != nullptr && ctx->last_mark_ns == 0) {
@@ -396,7 +435,7 @@ AnswerResult OnlineInference::AnswerTokensImpl(
             if (gate.Hit()) return false;
             ++result.num_predicates;
             const std::vector<rdf::TermId>& values =
-                CachedObjects(entity, pp.path, &scratch, tally);
+                CachedObjects(view, entity, pp.path, &scratch, tally);
             if (values.empty()) continue;
             const double p_v = 1.0 / static_cast<double>(values.size());
             ++result.num_grounded_predicates;
@@ -448,18 +487,27 @@ AnswerResult OnlineInference::AnswerTokensImpl(
   }
   result.answered = true;
   result.score = best.score;
-  result.value = kb_->IsLiteral(best.value) ? kb_->NodeString(best.value)
-                                            : kb_->EntityName(best.value);
-  result.predicate = paths_->ToString(best.best_path, *kb_);
+  // Materialization routes through the pinned view in live mode: values
+  // may be overlay nodes the base has never interned, and an entity's
+  // display name may have mutated.
+  const auto materialize = [&](rdf::TermId v) -> std::string {
+    if (view.snap != nullptr) {
+      return view.snap->IsLiteral(v) ? view.snap->NodeString(v)
+                                     : view.snap->EntityName(v);
+    }
+    return view.kb->IsLiteral(v) ? view.kb->NodeString(v)
+                                 : view.kb->EntityName(v);
+  };
+  result.value = materialize(best.value);
+  result.predicate = paths_->ToString(best.best_path, *view.kb);
   // Emit the equivalent structured query. The winning entity was tracked
   // with best_term during scoring, so no re-query over the candidate
   // entities is needed; its value set comes straight from the cache.
   result.sparql = rdf::QueryToString(rdf::BuildPathQuery(
-      *kb_, best.best_entity, paths_->GetPath(best.best_path)));
-  for (rdf::TermId v : CachedObjects(best.best_entity, best.best_path,
+      *view.kb, best.best_entity, paths_->GetPath(best.best_path)));
+  for (rdf::TermId v : CachedObjects(view, best.best_entity, best.best_path,
                                      &scratch, tally)) {
-    result.values.push_back(kb_->IsLiteral(v) ? kb_->NodeString(v)
-                                              : kb_->EntityName(v));
+    result.values.push_back(materialize(v));
   }
   // Rank covers sort + winner materialization (minus any timed value
   // lookups the materialization hit, which went to value_lookup above).
@@ -470,6 +518,7 @@ AnswerResult OnlineInference::AnswerTokensImpl(
 bool OnlineInference::IsPrimitiveBfq(
     const std::vector<std::string>& tokens) const {
   KBQA_COUNTER_ADD("online.bfq_probes", 1);
+  const PinnedKb view = PinKb();
   std::vector<nlp::Mention> mentions = ner_->FindMentions(tokens);
   bool found = false;
   std::vector<rdf::TermId> scratch;
@@ -479,7 +528,8 @@ bool OnlineInference::IsPrimitiveBfq(
       [&](const nlp::Mention&, rdf::TermId entity, double, TemplateId t) {
         for (const PredicateProb& pp : store_->Distribution(t)) {
           if (pp.probability < options_.min_predicate_prob) continue;
-          if (!CachedObjects(entity, pp.path, &scratch, &tally).empty()) {
+          if (!CachedObjects(view, entity, pp.path, &scratch, &tally)
+                   .empty()) {
             found = true;
             return false;
           }

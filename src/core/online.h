@@ -14,6 +14,7 @@
 #include "rdf/compressed_expanded.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
+#include "rdf/mutable_kb.h"
 #include "taxonomy/taxonomy.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
@@ -51,6 +52,34 @@ struct AnswerOptions {
   /// "not sampled" and costs one branch per stage boundary.
   obs::RequestContext* request_context = nullptr;
 };
+
+/// Value-cache key: the (entity, path) pair tagged with the KB version it
+/// was computed against. A frozen KB is always version 0; in live mode
+/// every Apply/merge bumps the version, so entries computed against an
+/// older world can never be returned for a newer one (the stale-answer
+/// hazard of DESIGN.md §10). Stale-version entries age out by LRU.
+struct ValueCacheKey {
+  uint64_t version = 0;
+  uint64_t entity_path = 0;  // entity in the high 32 bits, path in the low
+
+  friend bool operator==(const ValueCacheKey&, const ValueCacheKey&) =
+      default;
+};
+
+}  // namespace kbqa::core
+
+template <>
+struct std::hash<kbqa::core::ValueCacheKey> {
+  size_t operator()(const kbqa::core::ValueCacheKey& key) const noexcept {
+    uint64_t h = key.version * 0x9e3779b97f4a7c15ULL ^ key.entity_path;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+namespace kbqa::core {
 
 /// One scored value in the online posterior.
 struct AnswerCandidate {
@@ -147,11 +176,20 @@ class OnlineInference {
   /// the bytes live. Its PathIds must come from the same dictionary as
   /// `paths` (KbqaSystem wires it only on the Train path, where both are
   /// the expansion's dictionary).
+  ///
+  /// `live` (optional) switches the engine to live-mutation mode: every
+  /// Answer pins one KbSnapshot for its whole duration (RCU read-side),
+  /// value lookups and winner materialization route through the pinned
+  /// merged view, and all cache keys carry the snapshot version so a
+  /// post-mutation query can never see a pre-mutation cache entry. `kb`
+  /// must then be the live KB's current base (or an id-stable ancestor —
+  /// see rdf::RebuildKb); `cekb` must be null.
   OnlineInference(const rdf::KnowledgeBase* kb,
                   const taxonomy::Taxonomy* taxonomy,
                   const nlp::GazetteerNer* ner, const TemplateStore* store,
                   const rdf::PathDictionary* paths, const Options& options,
-                  const rdf::CompressedExpandedKb* cekb = nullptr);
+                  const rdf::CompressedExpandedKb* cekb = nullptr,
+                  const rdf::MutableKb* live = nullptr);
 
   /// Answers a binary factoid question.
   AnswerResult Answer(const std::string& question) const;
@@ -206,19 +244,44 @@ class OnlineInference {
     uint64_t evictions = 0;
   };
 
+  /// The KB world one Answer reads from start to finish. Frozen mode:
+  /// `kb` is the engine's kb_ and `snap` is null. Live mode: `snap` pins
+  /// one RCU snapshot (kept alive for the whole request) and `kb` is its
+  /// base — id-stable across merges, so ids from the engine's trained
+  /// structures remain valid.
+  struct PinnedKb {
+    const rdf::KnowledgeBase* kb = nullptr;
+    std::shared_ptr<const rdf::KbSnapshot> snap;
+
+    uint64_t version() const { return snap != nullptr ? snap->version : 0; }
+  };
+
+  /// Pins the current world: one atomic load in live mode, free in frozen
+  /// mode.
+  PinnedKb PinKb() const;
+
   /// V(e, p+) through the memo cache. The result always lands in
   /// `*scratch` — copied out of the cache on a hit, computed by the path
   /// walk on a miss (then inserted, evicting LRU entries if over budget) —
   /// and the returned reference points there, valid until the next call
   /// with the same `scratch`. Copy-out is what makes eviction safe: no
-  /// caller ever holds a reference into the cache.
+  /// caller ever holds a reference into the cache. The cache key carries
+  /// `view.version()`, so entries never cross mutation boundaries.
   const std::vector<rdf::TermId>& CachedObjects(
-      rdf::TermId entity, rdf::PathId path, std::vector<rdf::TermId>* scratch,
-      CacheTally* tally) const;
+      const PinnedKb& view, rdf::TermId entity, rdf::PathId path,
+      std::vector<rdf::TermId>* scratch, CacheTally* tally) const;
+
+  /// AnswerTokens against an already-pinned world — the body behind every
+  /// public answering entry point (AnswerCached pins once and reuses the
+  /// view for its cache key and the computation, so the key's version
+  /// always matches the world that computed the entry).
+  AnswerResult AnswerTokensPinned(const std::vector<std::string>& tokens,
+                                  const AnswerOptions& answer_options,
+                                  const PinnedKb& view) const;
 
   AnswerResult AnswerTokensImpl(const std::vector<std::string>& tokens,
                                 const AnswerOptions& answer_options,
-                                CacheTally* tally) const;
+                                CacheTally* tally, const PinnedKb& view) const;
 
   /// Folds one request's tally into the per-instance cache stats and, when
   /// instrumentation is on, mirrors it plus the per-answer stage counts
@@ -226,10 +289,12 @@ class OnlineInference {
   void FlushAnswerStats(const AnswerResult* result,
                         const CacheTally& tally) const;
 
-  /// V(e, p+) without the memo cache: decode from the compressed substrate
-  /// when it materializes the pair, else walk the base KB. Result lands in
+  /// V(e, p+) without the memo cache: walk the pinned merged view in live
+  /// mode; otherwise decode from the compressed substrate when it
+  /// materializes the pair, else walk the base KB. Result lands in
   /// `*scratch`.
-  void LookupValues(rdf::TermId entity, rdf::PathId path,
+  void LookupValues(const PinnedKb& view, rdf::TermId entity,
+                    rdf::PathId path,
                     std::vector<rdf::TermId>* scratch) const;
 
   const rdf::KnowledgeBase* kb_;
@@ -238,10 +303,12 @@ class OnlineInference {
   const TemplateStore* store_;
   const rdf::PathDictionary* paths_;
   const rdf::CompressedExpandedKb* cekb_;
+  const rdf::MutableKb* live_;
   Options options_;
 
-  /// Key: entity in the high 32 bits, path in the low 32.
-  mutable ShardedLruCache<uint64_t, std::vector<rdf::TermId>> value_cache_;
+  /// Keyed by (KB version, entity « 32 | path) — see ValueCacheKey.
+  mutable ShardedLruCache<ValueCacheKey, std::vector<rdf::TermId>>
+      value_cache_;
   mutable obs::ShardedCounter cache_hits_;
   mutable obs::ShardedCounter cache_misses_;
 

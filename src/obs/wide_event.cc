@@ -31,7 +31,7 @@ constexpr const char* kOutcomeNames[kWideOutcomeCount] = {
 // copies a slot and then sees a different tag knows the writer lapped it
 // mid-copy and skips the row.
 
-constexpr size_t kSlotWords = 23;
+constexpr size_t kSlotWords = 24;
 
 enum SlotWord : size_t {
   kWordSeq = 0,
@@ -50,8 +50,9 @@ enum SlotWord : size_t {
   kWordAnswerCache,
   kWordBlockCache,
   kWordBlocksDecoded,
+  kWordKbEpoch,
 };
-static_assert(kWordBlocksDecoded == kSlotWords - 1, "slot layout mismatch");
+static_assert(kWordKbEpoch == kSlotWords - 1, "slot layout mismatch");
 
 uint64_t PackPair(uint32_t lo, uint32_t hi) {
   return static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
@@ -79,6 +80,7 @@ void EncodeEvent(const WideEvent& e, uint64_t (&w)[kSlotWords]) {
   w[kWordAnswerCache] = PackPair(e.answer_cache_hits, e.answer_cache_misses);
   w[kWordBlockCache] = PackPair(e.block_cache_hits, e.block_cache_misses);
   w[kWordBlocksDecoded] = e.blocks_decoded;
+  w[kWordKbEpoch] = e.kb_epoch;
 }
 
 WideEvent DecodeEvent(const uint64_t (&w)[kSlotWords]) {
@@ -111,6 +113,7 @@ WideEvent DecodeEvent(const uint64_t (&w)[kSlotWords]) {
   e.block_cache_hits = static_cast<uint32_t>(w[kWordBlockCache]);
   e.block_cache_misses = static_cast<uint32_t>(w[kWordBlockCache] >> 32);
   e.blocks_decoded = static_cast<uint32_t>(w[kWordBlocksDecoded]);
+  e.kb_epoch = w[kWordKbEpoch];
   return e;
 }
 
@@ -208,6 +211,7 @@ void WideEvent::StampFrom(const RequestContext& ctx) {
   block_cache_hits = ctx.block_cache_hits;
   block_cache_misses = ctx.block_cache_misses;
   blocks_decoded = ctx.blocks_decoded;
+  kb_epoch = ctx.kb_epoch;
 }
 
 std::string WideEvent::ToJsonLine() const {
@@ -257,7 +261,9 @@ std::string WideEvent::ToJsonLine() const {
   field("hits", block_cache_hits, /*first=*/true);
   field("misses", block_cache_misses);
   field("decoded", blocks_decoded);
-  out += "}}";
+  out += '}';
+  field("kb_epoch", kb_epoch);
+  out += '}';
   return out;
 }
 

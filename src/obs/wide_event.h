@@ -93,6 +93,10 @@ struct RequestContext {
   uint32_t block_cache_misses = 0;
   uint32_t blocks_decoded = 0;
 
+  /// KB epoch the answer was computed against (0 for a frozen KB; the
+  /// pinned snapshot's epoch in live-mutation mode — see DESIGN.md §10).
+  uint64_t kb_epoch = 0;
+
   uint64_t last_mark_ns = 0;  // chained stage-clock anchor
 
   /// Anchors the stage clock at `now_ns` (typically the server's existing
@@ -155,6 +159,9 @@ struct WideEvent {
   uint32_t block_cache_hits = 0;
   uint32_t block_cache_misses = 0;
   uint32_t blocks_decoded = 0;
+
+  /// KB epoch the answer was computed against (0 = frozen KB).
+  uint64_t kb_epoch = 0;
 
   uint64_t StageNsSum() const {
     uint64_t sum = 0;

@@ -1,0 +1,262 @@
+#ifndef KBQA_RDF_MUTABLE_KB_H_
+#define KBQA_RDF_MUTABLE_KB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace kbqa::rdf {
+
+/// One live mutation, by surface strings (the mutation API mirrors the
+/// string-form AddTriple so callers never manage ids — id assignment is
+/// the overlay's job and must stay deterministic for the id-stability
+/// invariant below).
+struct MutationOp {
+  bool is_delete = false;
+  std::string s;
+  std::string p;
+  std::string o;
+  /// Node kind of `o` when the add has to intern it. Ignored for deletes
+  /// (a delete never interns anything — unknown strings make it a no-op).
+  bool object_is_literal = false;
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = static_cast<uint64_t>(t.s);
+    h = h * 0x9e3779b97f4a7c15ULL + t.p;
+    h = h * 0x9e3779b97f4a7c15ULL + t.o;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The uncompressed delta between a frozen base KB and the live world:
+/// new nodes/predicates appended after the base id space, added edges
+/// grouped by subject (each group sorted by (predicate, object) — the
+/// same order as a frozen CSR node range), and a tombstone set of deleted
+/// base triples. Immutable once published inside a KbSnapshot; MutableKb
+/// keeps a private mutable copy it re-publishes on every Apply.
+///
+/// Merge rule (DESIGN.md §10): visible(K) = (base \ tombstones) ∪ adds,
+/// with `adds` disjoint from base triples and tombstones only ever naming
+/// base-resident triples, so the union is disjoint and the subtraction
+/// exact. Later ops win: an add clears any tombstone on its triple, a
+/// delete removes any overlay add of it.
+struct DeltaOverlay {
+  struct Node {
+    std::string term;
+    bool is_literal = false;
+  };
+
+  /// Nodes interned after the base: new_nodes[i] has id base_nodes + i.
+  std::vector<Node> new_nodes;
+  std::unordered_map<std::string, TermId> node_index;
+  /// Predicates interned after the base: new_preds[i] = base_preds + i.
+  std::vector<std::string> new_preds;
+  std::unordered_map<std::string, PredId> pred_index;
+  /// Added edges by subject, each vector sorted by (p, o), deduplicated,
+  /// and disjoint from the base triples.
+  std::unordered_map<TermId, std::vector<PredicateObject>> adds;
+  /// Deleted base triples (exact set; only triples the base contains).
+  std::unordered_set<Triple, TripleHash> tombstones;
+  /// Total edges across `adds` (gauge fodder; adds maps are small).
+  size_t num_adds = 0;
+
+  bool empty() const { return num_adds == 0 && tombstones.empty(); }
+
+  /// Added out-edges of `s`, sorted by (p, o). Empty when none.
+  std::span<const PredicateObject> AddsFor(TermId s) const;
+  /// The (p, o) run for one predicate within AddsFor(s).
+  std::span<const PredicateObject> AddsRange(TermId s, PredId p) const;
+  bool Tombstoned(const Triple& t) const {
+    return !tombstones.empty() && tombstones.count(t) != 0;
+  }
+};
+
+/// An immutable, pinnable view of the live KB: a frozen base plus the
+/// delta overlay that was current when the snapshot was published. Readers
+/// pin one snapshot (shared_ptr) for the duration of one Answer and see a
+/// consistent world no matter how many Applies or merges land meanwhile.
+///
+/// `version` increments on every Apply and every merge publish — it is
+/// the cache-key tag (two versions may answer differently). `epoch`
+/// increments only when a merge publishes a new base — it is the signal
+/// to rebuild base-derived read structures (NER gazetteer, per-epoch
+/// engines).
+///
+/// The read API mirrors the KnowledgeBase calls the online pipeline uses,
+/// with identical result ordering: merged object lists are sorted unique,
+/// so an empty overlay makes every method bit-identical to the base call.
+class KbSnapshot {
+ public:
+  std::shared_ptr<const KnowledgeBase> base;
+  std::shared_ptr<const DeltaOverlay> overlay;
+  uint64_t epoch = 0;
+  uint64_t version = 0;
+
+  size_t num_nodes() const {
+    return base->num_nodes() + overlay->new_nodes.size();
+  }
+  size_t num_predicates() const {
+    return base->num_predicates() + overlay->new_preds.size();
+  }
+
+  bool IsLiteral(TermId id) const;
+  const std::string& NodeString(TermId id) const;
+  /// First merged object under the base's name predicate, else the node's
+  /// own string — the same rule as KnowledgeBase::EntityName.
+  std::string EntityName(TermId e) const;
+
+  std::optional<TermId> LookupNode(std::string_view term) const;
+  std::optional<PredId> LookupPredicate(std::string_view pred) const;
+
+  /// Merged V(e, p): (base objects \ tombstones) ∪ overlay adds, sorted.
+  std::vector<TermId> Objects(TermId s, PredId p) const;
+  /// Merged BFS walk — the live equivalent of rdf::ObjectsViaPath, with
+  /// the identical sort/unique frontier discipline.
+  std::vector<TermId> ObjectsViaPath(TermId e, const PredPath& path) const;
+  bool HasTriple(TermId s, PredId p, TermId o) const;
+};
+
+/// Rebuilds a frozen KnowledgeBase equal to `base` with `overlay` merged
+/// in. Id-stability invariant: every base node/predicate is re-interned
+/// in id order before any overlay entry, so all base TermIds/PredIds — and
+/// therefore trained template stores, path dictionaries, taxonomy links,
+/// and NER gazetteers — remain valid in the rebuilt KB, and overlay ids
+/// keep the exact values the overlay assigned. Freeze() sorts per node,
+/// so the output is bit-identical to a from-scratch freeze of the mutated
+/// world for any `num_threads`.
+KnowledgeBase RebuildKb(const KnowledgeBase& base, const DeltaOverlay& overlay,
+                        int num_threads);
+
+/// Live-mutation shell over a frozen KnowledgeBase (DESIGN.md §10).
+///
+/// Writers call Apply/AddTriple/DeleteTriple; each Apply publishes a new
+/// KbSnapshot (same base, copy-on-write overlay, version+1) via an
+/// RCU-style atomic shared_ptr swap, so readers never block on writers
+/// and never observe a half-applied batch. When the pending op count
+/// reaches `merge_trigger_ops` (and auto_merge is on), a background
+/// thread rebuilds a fresh CSR base off-lock via RebuildKb, then
+/// publishes it — epoch+1 — with the residual overlay compiled from ops
+/// that arrived during the rebuild. Readers pin via Pin() and keep their
+/// snapshot alive for one request; old snapshots die when the last reader
+/// drops them.
+///
+/// Thread safety: all methods are safe to call concurrently. `Pin` is
+/// wait-free (one atomic shared_ptr load); writers serialize on one
+/// mutex; the merge rebuild itself runs outside the lock.
+class MutableKb {
+ public:
+  struct Options {
+    /// Pending-op count that triggers a background merge (README knob).
+    size_t merge_trigger_ops = 256;
+    /// Thread count handed to Freeze() during the background rebuild.
+    int merge_threads = 1;
+    /// When false, merges happen only via ForceMerge (tests, benches that
+    /// want to control the merge point exactly).
+    bool auto_merge = true;
+  };
+
+  using PublishHook =
+      std::function<void(const std::shared_ptr<const KbSnapshot>&)>;
+
+  /// Takes ownership of the frozen base (epoch 0, version 0, empty
+  /// overlay).
+  explicit MutableKb(KnowledgeBase base, Options options);
+  explicit MutableKb(KnowledgeBase base)
+      : MutableKb(std::move(base), Options()) {}
+  ~MutableKb();
+
+  MutableKb(const MutableKb&) = delete;
+  MutableKb& operator=(const MutableKb&) = delete;
+
+  /// The current snapshot: one uncontended lock + shared_ptr copy. Hold
+  /// the returned pointer for the duration of one logical read (one
+  /// Answer); publishers never block on readers.
+  std::shared_ptr<const KbSnapshot> Pin() const {
+    MutexLock lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Applies a batch of ops atomically: readers see either none or all of
+  /// the batch. Publishes a new snapshot (version+1).
+  void Apply(std::span<const MutationOp> batch);
+  void AddTriple(std::string_view s, std::string_view p, std::string_view o,
+                 bool object_is_literal);
+  void DeleteTriple(std::string_view s, std::string_view p,
+                    std::string_view o);
+
+  /// Blocks until every op applied before the call has been merged into a
+  /// frozen base (runs a merge if one isn't already pending).
+  void ForceMerge();
+  /// Blocks until no merge is running or requested (pending ops may
+  /// remain if they are below the trigger).
+  void WaitForMergeIdle();
+
+  /// Called (on the merge thread) after every epoch publish, with the
+  /// just-published snapshot. Used by the live engine to rebuild
+  /// base-derived state. Pass nullptr to clear.
+  void SetPublishHook(PublishHook hook);
+
+  uint64_t epoch() const { return epoch_atomic_.load(std::memory_order_acquire); }
+  uint64_t version() const {
+    return version_atomic_.load(std::memory_order_acquire);
+  }
+  /// Ops applied since the last epoch publish (0 right after a merge).
+  size_t pending_ops() const;
+  uint64_t merges_completed() const;
+
+ private:
+  void MergeLoop();
+
+  Options options_;
+
+  mutable Mutex mu_;
+  /// Source of truth for un-merged state: the ops since the last epoch
+  /// publish, in order, plus the overlay they compile to against the
+  /// current base.
+  std::vector<MutationOp> ops_ GUARDED_BY(mu_);
+  DeltaOverlay builder_ GUARDED_BY(mu_);
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  uint64_t merges_completed_ GUARDED_BY(mu_) = 0;
+  bool merge_requested_ GUARDED_BY(mu_) = false;
+  bool merge_in_progress_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  PublishHook publish_hook_ GUARDED_BY(mu_);
+  CondVar work_cv_;
+  CondVar idle_cv_;
+
+  /// RCU publication point: a dedicated leaf lock around the shared_ptr
+  /// copy, acquired after mu_ and never held across any work. (Not
+  /// std::atomic<shared_ptr>: libstdc++ implements that as a per-object
+  /// spinlock whose plain-pointer internals TSan cannot model — the
+  /// annotated mutex costs the same and keeps tsan.supp empty.)
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const KbSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
+  std::atomic<uint64_t> epoch_atomic_{0};
+  std::atomic<uint64_t> version_atomic_{0};
+
+  std::thread merge_thread_;
+};
+
+}  // namespace kbqa::rdf
+
+#endif  // KBQA_RDF_MUTABLE_KB_H_

@@ -81,6 +81,16 @@ std::unique_ptr<Server> Server::ForEngine(const core::OnlineInference* engine,
       options);
 }
 
+std::unique_ptr<Server> Server::ForLiveEngine(
+    const core::LiveKbqaEngine* engine, const ServingOptions& options) {
+  return std::make_unique<Server>(
+      [engine](const std::string& question,
+               const core::AnswerOptions& answer_options) {
+        return engine->AnswerCached(question, answer_options);
+      },
+      options);
+}
+
 Server::~Server() {
   {
     MutexLock lock(mu_);

@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "core/live_engine.h"
 #include "core/online.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
@@ -114,6 +115,12 @@ class Server {
   /// and per-request deadlines compose with batching.
   static std::unique_ptr<Server> ForEngine(
       const core::OnlineInference* engine, const ServingOptions& options);
+  /// Fronts a live-mutation engine (DESIGN.md §10): identical serving
+  /// semantics, but every request routes through the engine's current
+  /// epoch state, so snapshot swaps land between requests without
+  /// draining the server.
+  static std::unique_ptr<Server> ForLiveEngine(
+      const core::LiveKbqaEngine* engine, const ServingOptions& options);
   ~Server();
 
   Server(const Server&) = delete;

@@ -81,9 +81,11 @@ class ShardedLruCache {
   /// against the global budget and evicting least-recently-used entries —
   /// from this key's shard first, then borrowing from sibling shards — as
   /// needed; returns how many entries were evicted. If the key is already
-  /// present the existing entry is kept (two racing computations of the
-  /// same key produce equal values) and only promoted. An entry whose
-  /// charge alone exceeds the whole budget is not cached at all.
+  /// present its value is REPLACED and the books are re-charged by the
+  /// size delta (the new reservation is kept, the old entry's charge is
+  /// released), so a same-key insert with a different-sized value leaves
+  /// the accounting exact. An entry whose charge alone exceeds the whole
+  /// budget is not cached at all.
   uint64_t Insert(const Key& key, Value value, uint64_t payload_bytes) {
     const uint64_t charge = sizeof(Key) + payload_bytes;
     const size_t home = ShardIndexFor(key);
@@ -93,7 +95,10 @@ class ShardedLruCache {
       // Reserve the charge against the global total before touching the
       // shard. Every pass either wins the CAS, evicts a victim, or learns
       // the budget is fully held by in-flight reservations and gives up
-      // (a cache insert is best-effort).
+      // (a cache insert is best-effort). A replacement therefore briefly
+      // holds old + new charge; the old charge is released under the
+      // shard lock below. The eviction loop may evict this very key —
+      // that is fine, the insert then lands as a fresh entry.
       while (true) {
         uint64_t current = total_bytes_.load(std::memory_order_relaxed);
         if (current + charge <= budget_bytes_) {
@@ -111,9 +116,18 @@ class ShardedLruCache {
     MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
+      // Replace in place: promote, swap the value, re-book the charge
+      // delta. Shard bytes move before the global release so the
+      // "reserved >= committed" invariant holds throughout.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      Entry& entry = *it->second;
+      const uint64_t old_charge = entry.charge;
+      entry.value = std::move(value);
+      entry.charge = charge;
+      shard.bytes += charge;
+      shard.bytes -= old_charge;
       if (budget_bytes_ != 0) {
-        total_bytes_.fetch_sub(charge, std::memory_order_relaxed);
+        total_bytes_.fetch_sub(old_charge, std::memory_order_relaxed);
       }
       return evicted;
     }
@@ -121,6 +135,40 @@ class ShardedLruCache {
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += charge;
     return evicted;
+  }
+
+  /// Removes `key` if present, releasing its charge from the shard books
+  /// and the global reservation. Returns true when an entry was removed.
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    const uint64_t charge = it->second->charge;
+    shard.bytes -= charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    if (budget_bytes_ != 0) {
+      total_bytes_.fetch_sub(charge, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Drops every entry, returning the books (shard and global) to zero.
+  /// Entries are released shard by shard — a concurrent insert may land in
+  /// an already-cleared shard and survive; Clear makes no atomicity claim
+  /// across shards. Cleared entries do not count as evictions.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      const uint64_t released = shard.bytes;
+      shard.lru.clear();
+      shard.index.clear();
+      shard.bytes = 0;
+      if (budget_bytes_ != 0 && released != 0) {
+        total_bytes_.fetch_sub(released, std::memory_order_relaxed);
+      }
+    }
   }
 
   /// Merged accounting across shards. `entries`/`bytes` are a point-in-time
@@ -138,6 +186,14 @@ class ShardedLruCache {
 
   uint64_t budget_bytes() const { return budget_bytes_; }
   size_t num_shards() const { return shards_.size(); }
+
+  /// Bytes currently reserved against the budget: committed entries plus
+  /// in-flight insert reservations. Quiescent, this equals GetStats().bytes
+  /// exactly — the accounting-regression tests assert both return to zero
+  /// after insert/replace/erase storms. Always 0 when unbounded.
+  uint64_t reserved_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {

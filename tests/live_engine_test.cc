@@ -1,0 +1,207 @@
+// Live-mutation serving semantics (DESIGN.md §10): a LiveKbqaEngine over
+// a MutableKb must (a) answer exactly like the frozen engine while no
+// mutation has happened, (b) never serve a pre-mutation answer after a
+// mutation — the stale-cache regression this PR fixes — and (c) answer
+// identically before and after the background merge folds the overlay
+// into a fresh frozen base (id stability makes the trained model valid
+// across merges).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kbqa_system.h"
+#include "core/live_engine.h"
+#include "core/online.h"
+#include "corpus/qa_generator.h"
+#include "eval/experiment.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+#include "rdf/mutable_kb.h"
+
+namespace kbqa {
+namespace {
+
+class LiveEngineTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const eval::Experiment* const kExperiment = [] {
+      auto built = eval::Experiment::Build(eval::ExperimentConfig::Small());
+      if (!built.ok()) {
+        ADD_FAILURE() << built.status();
+        return static_cast<eval::Experiment*>(nullptr);
+      }
+      return const_cast<eval::Experiment*>(
+          std::move(built).value().release());
+    }();
+    return *kExperiment;
+  }
+
+  static std::vector<std::string> BenchmarkQuestions(size_t n,
+                                                     uint64_t seed) {
+    corpus::BenchmarkConfig config;
+    config.num_questions = n;
+    config.seed = seed;
+    std::vector<std::string> questions;
+    for (const corpus::QaPair& pair :
+         corpus::GenerateBenchmark(experiment().world(), config)
+             .questions.pairs) {
+      questions.push_back(pair.question);
+    }
+    return questions;
+  }
+
+  /// The Save/Load roundtrip preserves ids bit-for-bit, so the copy seeds
+  /// a MutableKb whose base TermIds/PredIds match the trained model's.
+  static rdf::KnowledgeBase CopyBaseKb() {
+    const std::string path = ::testing::TempDir() + "/live_engine_kb.bin";
+    auto saved = experiment().world().kb.Save(path);
+    EXPECT_TRUE(saved.ok()) << saved;
+    auto loaded = rdf::KnowledgeBase::Load(path);
+    EXPECT_TRUE(loaded.ok());
+    return std::move(loaded).value();
+  }
+
+  static void ExpectSameAnswer(const core::AnswerResult& got,
+                               const core::AnswerResult& want,
+                               const std::string& question) {
+    EXPECT_EQ(got.answered, want.answered) << question;
+    EXPECT_EQ(got.value, want.value) << question;
+    EXPECT_EQ(got.score, want.score) << question;
+    EXPECT_EQ(got.predicate, want.predicate) << question;
+    EXPECT_EQ(got.sparql, want.sparql) << question;
+    EXPECT_EQ(got.values, want.values) << question;
+  }
+};
+
+TEST_F(LiveEngineTest, UnmutatedLiveEngineMatchesFrozenEngineExactly) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  rdf::MutableKb live(CopyBaseKb());
+  core::LiveKbqaEngine::Options options;
+  options.alias_predicates = experiment().world().alias_predicates;
+  options.online = kbqa.options().online;
+  core::LiveKbqaEngine engine(&live, &experiment().world().taxonomy,
+                              &kbqa.template_store(),
+                              &kbqa.expanded_kb().paths(), options);
+
+  core::OnlineInference frozen(
+      &experiment().world().kb, &experiment().world().taxonomy, &kbqa.ner(),
+      &kbqa.template_store(), &kbqa.expanded_kb().paths(),
+      kbqa.options().online);
+
+  size_t answered = 0;
+  for (const std::string& q : BenchmarkQuestions(25, 808)) {
+    const core::AnswerResult want = frozen.Answer(q);
+    ExpectSameAnswer(engine.Answer(q), want, q);
+    if (want.answered) ++answered;
+  }
+  EXPECT_GT(answered, 0u);
+  EXPECT_EQ(engine.epoch(), 0u);
+}
+
+TEST_F(LiveEngineTest, PostMutationQueryNeverReturnsPreMutationAnswer) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  const rdf::KnowledgeBase& base = experiment().world().kb;
+  const rdf::PathDictionary& paths = kbqa.expanded_kb().paths();
+
+  rdf::MutableKb::Options live_options;
+  live_options.auto_merge = false;  // merge only when the test says so
+  rdf::MutableKb live(CopyBaseKb(), live_options);
+  const auto engine = kbqa.MakeLiveEngine(&live);
+  ASSERT_NE(engine, nullptr);
+
+  // Both cache tiers on: the whole point is that version-tagged keys keep
+  // a warm cache from replaying the pre-mutation world.
+  core::AnswerOptions answer_options;
+
+  // Pick a question answered through a single-hop path, so the winning
+  // fact is one (entity, predicate) whose triples we can rewrite.
+  std::string question;
+  core::AnswerResult before;
+  rdf::TermId entity = rdf::kInvalidTerm;
+  rdf::PredId pred = 0;
+  for (const std::string& q : BenchmarkQuestions(40, 2468)) {
+    const core::AnswerResult r = engine->AnswerCached(q, answer_options);
+    if (!r.answered || r.ranked.empty()) continue;
+    const rdf::PredPath& path = paths.GetPath(r.ranked[0].best_path);
+    if (path.size() != 1) continue;
+    question = q;
+    before = r;
+    entity = r.ranked[0].best_entity;
+    pred = path[0];
+    break;
+  }
+  ASSERT_FALSE(question.empty()) << "no single-hop answered question";
+
+  // Warm the answer cache at the current version, then rewrite the
+  // winning fact: delete every value of (entity, pred), add a sentinel.
+  ExpectSameAnswer(engine->AnswerCached(question, answer_options), before,
+                   question);
+  const std::string s = base.NodeString(entity);
+  const std::string p = base.PredicateString(pred);
+  for (const rdf::TermId v : base.Objects(entity, pred)) {
+    live.DeleteTriple(s, p, base.NodeString(v));
+  }
+  const std::string sentinel = "freshness sentinel value";
+  live.AddTriple(s, p, sentinel, /*object_is_literal=*/true);
+  ASSERT_EQ(live.epoch(), 0u) << "mutation must not require a merge";
+
+  // The pre-mutation answer must be gone immediately — before any merge —
+  // even though it is still sitting in the answer cache under the old
+  // version tag.
+  const core::AnswerResult after =
+      engine->AnswerCached(question, answer_options);
+  EXPECT_FALSE(after.answered == before.answered &&
+               after.value == before.value && after.values == before.values &&
+               after.predicate == before.predicate)
+      << "stale pre-mutation answer served for: " << question;
+  if (after.answered && after.predicate == before.predicate) {
+    EXPECT_EQ(after.values, std::vector<std::string>{sentinel});
+  }
+  // Memoized at the new version: asking again replays the fresh answer.
+  ExpectSameAnswer(engine->AnswerCached(question, answer_options), after,
+                   question);
+
+  // Merging folds the overlay into a new frozen base; the answer must not
+  // change, and the old version's cache entries must stay unreachable.
+  live.ForceMerge();
+  EXPECT_GE(live.epoch(), 1u);
+  ExpectSameAnswer(engine->AnswerCached(question, answer_options), after,
+                   question);
+  ExpectSameAnswer(engine->Answer(question), after, question);
+}
+
+TEST_F(LiveEngineTest, MakeLiveEngineAnswersBenchmarkAfterBackgroundMerges) {
+  const core::KbqaSystem& kbqa = experiment().kbqa();
+  rdf::MutableKb::Options live_options;
+  live_options.merge_trigger_ops = 4;  // force background merges early
+  rdf::MutableKb live(CopyBaseKb(), live_options);
+  const auto engine = kbqa.MakeLiveEngine(&live);
+  ASSERT_NE(engine, nullptr);
+
+  const std::vector<std::string> questions = BenchmarkQuestions(15, 909);
+  const std::vector<core::AnswerResult> want = engine->AnswerAll(questions, 1);
+
+  // Churn unrelated entities through several background merges.
+  for (int i = 0; i < 12; ++i) {
+    live.AddTriple("live/entity" + std::to_string(i), "likes",
+                   "value" + std::to_string(i), /*object_is_literal=*/true);
+  }
+  live.WaitForMergeIdle();
+  EXPECT_GE(live.merges_completed(), 1u);
+
+  // Unrelated churn must not disturb any benchmark answer (id stability:
+  // the trained model's ids survived every merge).
+  const std::vector<core::AnswerResult> got = engine->AnswerAll(questions, 2);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ExpectSameAnswer(got[i], want[i], questions[i]);
+  }
+}
+
+}  // namespace
+}  // namespace kbqa

@@ -25,8 +25,10 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "obs/wide_event.h"
+#include "core/live_engine.h"
 #include "rdf/expanded_predicate.h"
 #include "rdf/knowledge_base.h"
+#include "rdf/mutable_kb.h"
 #include "serve/server.h"
 #include "util/lru_cache.h"
 #include "util/thread_pool.h"
@@ -426,6 +428,121 @@ TEST_F(RaceStressSystemTest, ServeEngineAnswersUnderConcurrentLoadCycles) {
       });
     }
     for (auto& th : callers) th.join();
+  }
+}
+
+// ---------- Live KB mutation (DESIGN.md §10) ----------
+
+TEST_F(RaceStressSystemTest, LiveEngineAnswerAllAcrossMutationsAndSwaps) {
+  // Reader threads batch-answer through a LiveKbqaEngine while a mutator
+  // thread applies overlay batches and forces merges, so every RCU edge is
+  // exercised concurrently: Pin() against Apply's snapshot publish, the
+  // merge thread's base rebuild + swap, and the publish hook rebuilding
+  // the per-epoch engine state that readers acquire mid-batch.
+  const std::string path = ::testing::TempDir() + "/race_live_kb.bin";
+  ASSERT_TRUE(experiment().world().kb.Save(path).ok());
+  auto loaded = rdf::KnowledgeBase::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  rdf::MutableKb::Options live_options;
+  live_options.merge_trigger_ops = 8;
+  rdf::MutableKb live(std::move(loaded).value(), live_options);
+  const auto engine = experiment().kbqa().MakeLiveEngine(&live);
+  ASSERT_NE(engine, nullptr);
+
+  const std::vector<std::string> questions = BenchmarkQuestions(12, 7777);
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    for (int round = 0; round < 15; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        const std::string tag =
+            std::to_string(round) + "_" + std::to_string(i);
+        live.AddTriple("race/entity" + tag, "likes", "value" + tag,
+                       /*object_is_literal=*/true);
+      }
+      live.DeleteTriple("race/entity" + std::to_string(round) + "_0",
+                        "likes",
+                        "value" + std::to_string(round) + "_0");
+      live.ForceMerge();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      do {
+        const std::vector<core::AnswerResult> results =
+            engine->AnswerAll(questions, 2);
+        ASSERT_EQ(results.size(), questions.size());
+        for (const core::AnswerResult& r : results) {
+          ASSERT_TRUE(r.status.ok());
+        }
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  mutator.join();
+  for (auto& th : readers) th.join();
+  live.WaitForMergeIdle();
+  EXPECT_GE(live.merges_completed(), 1u);
+  EXPECT_EQ(live.pending_ops(), 0u);
+}
+
+TEST_F(RaceStressSystemTest, ServeLiveEngineWideEventsExactlyOnceAcrossSwaps) {
+  // The wide-event exactly-once invariant must survive snapshot swaps:
+  // submitters race the batcher and a mutator forcing merges underneath
+  // the serving engine, and every submission still resolves to exactly
+  // one wide event, each stamped with a kb_epoch the KB actually reached.
+  const std::string path = ::testing::TempDir() + "/race_serve_kb.bin";
+  ASSERT_TRUE(experiment().world().kb.Save(path).ok());
+  auto loaded = rdf::KnowledgeBase::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  rdf::MutableKb::Options live_options;
+  live_options.auto_merge = false;
+  rdf::MutableKb live(std::move(loaded).value(), live_options);
+  const auto engine = experiment().kbqa().MakeLiveEngine(&live);
+  ASSERT_NE(engine, nullptr);
+  const std::vector<std::string> questions = BenchmarkQuestions(8, 3131);
+
+  obs::WideEvents::ResetForTest();
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> callbacks{0};
+  {
+    serve::ServingOptions serving;
+    serving.num_workers = 3;
+    serving.max_batch_size = 4;
+    serving.max_batch_wait = std::chrono::microseconds(50);
+    const auto server = serve::Server::ForLiveEngine(engine.get(), serving);
+    std::atomic<bool> stop{false};
+    std::thread mutator([&] {
+      for (int round = 0; !stop.load(std::memory_order_acquire); ++round) {
+        live.AddTriple("serve/entity" + std::to_string(round), "likes",
+                       "value" + std::to_string(round),
+                       /*object_is_literal=*/true);
+        live.ForceMerge();
+      }
+    });
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 60; ++i) {
+          const Status admitted = server->Submit(
+              questions[static_cast<size_t>(i) % questions.size()],
+              [&](serve::ServeResponse) { callbacks.fetch_add(1); });
+          if (admitted.ok()) accepted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+    stop.store(true, std::memory_order_release);
+    mutator.join();
+    // ~Server drains or sheds everything still queued.
+  }
+  ASSERT_EQ(callbacks.load(), accepted.load());
+  const std::vector<obs::WideEvent> events = obs::WideEvents::Drain();
+  ASSERT_EQ(events.size(), 3u * 60u);
+  const uint64_t final_epoch = live.epoch();
+  EXPECT_GE(final_epoch, 1u);
+  for (const obs::WideEvent& e : events) {
+    EXPECT_LE(e.kb_epoch, final_epoch);
   }
 }
 

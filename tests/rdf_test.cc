@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -152,6 +153,34 @@ TEST_F(ToyKbTest, SaveLoadRoundTrip) {
   ASSERT_EQ(entities.size(), 1u);
   EXPECT_EQ(kb2.Objects(entities[0], *kb2.LookupPredicate("population")),
             (std::vector<TermId>{*kb2.LookupNode("390000")}));
+  std::remove(path.c_str());
+}
+
+TEST_F(ToyKbTest, InjectedShortWriteNeverClobbersGoodSnapshot) {
+  std::string path = ::testing::TempDir() + "/crash_safe_kb.bin";
+  ASSERT_TRUE(kb_.Save(path).ok());
+
+  // A re-Save over the same path dies mid-write (simulated crash / full
+  // disk after 64 bytes). It must fail cleanly...
+  KnowledgeBase::SetSaveFailureAfterBytesForTest(64);
+  Status crashed = kb_.Save(path);
+  KnowledgeBase::SetSaveFailureAfterBytesForTest(-1);
+  EXPECT_FALSE(crashed.ok());
+
+  // ...leave the original snapshot loadable...
+  auto loaded = KnowledgeBase::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().num_triples(), kb_.num_triples());
+  EXPECT_EQ(loaded.value().num_entities(), kb_.num_entities());
+
+  // ...and clean up its temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  EXPECT_FALSE(std::ifstream(tmp).good());
+
+  // With injection off, the same Save succeeds again (atomic replace).
+  ASSERT_TRUE(kb_.Save(path).ok());
+  EXPECT_TRUE(KnowledgeBase::Load(path).ok());
   std::remove(path.c_str());
 }
 
