@@ -1,0 +1,529 @@
+#include "fuzz/fuzz_driver.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/coding.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kbqa::fuzz {
+
+namespace {
+
+// Values that historically break integer decoders: zero, one, sign/width
+// boundaries, all-ones, and off-by-one neighbors of each.
+constexpr uint64_t kInterestingU64[] = {
+    0,    1,         0x7F,       0x80,        0xFF,
+    0x100, 0x7FFF,   0x8000,     0xFFFF,      0x10000,
+    0x7FFFFFFFULL,   0x80000000ULL, 0xFFFFFFFFULL, 0x100000000ULL,
+    0x7FFFFFFFFFFFFFFFULL, 0x8000000000000000ULL, 0xFFFFFFFFFFFFFFFFULL};
+
+constexpr uint8_t kInterestingByte[] = {0x00, 0x01, 0x7F, 0x80, 0xFF,
+                                        0x20, 0x0A, 0x22, 0x3C, 0x5C};
+
+void PutLeb128(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Decodes the LEB128 varint at [p, p+avail) if one terminates within 10
+/// bytes. Returns its encoded length (0 when there is none).
+size_t TryDecodeLeb128(const uint8_t* p, size_t avail, uint64_t* value) {
+  uint64_t result = 0;
+  const size_t bound = avail < 10 ? avail : 10;
+  for (size_t i = 0; i < bound; ++i) {
+    result |= static_cast<uint64_t>(p[i] & 0x7F) << (7 * i);
+    if ((p[i] & 0x80) == 0) {
+      *value = result;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+// ---- mutation operators -------------------------------------------------
+// Each operator takes the working input by reference; no-ops when the
+// input is too small for it.
+
+void OpBitFlip(Rng& rng, std::string& s) {
+  if (s.empty()) return;
+  const int flips = 1 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = rng.Uniform(s.size());
+    s[pos] = static_cast<char>(
+        static_cast<uint8_t>(s[pos]) ^ (1u << rng.Uniform(8)));
+  }
+}
+
+void OpByteSet(Rng& rng, std::string& s) {
+  if (s.empty()) return;
+  const size_t pos = rng.Uniform(s.size());
+  if (rng.Bernoulli(0.5)) {
+    s[pos] = static_cast<char>(
+        kInterestingByte[rng.Uniform(std::size(kInterestingByte))]);
+  } else {
+    s[pos] = static_cast<char>(rng.Uniform(256));
+  }
+}
+
+void OpChunkDelete(Rng& rng, std::string& s) {
+  if (s.size() < 2) return;
+  const size_t len = 1 + rng.Uniform(s.size() / 2);
+  const size_t off = rng.Uniform(s.size() - len + 1);
+  s.erase(off, len);
+}
+
+void OpChunkDup(Rng& rng, std::string& s) {
+  if (s.empty()) return;
+  const size_t len = 1 + rng.Uniform(std::min<size_t>(s.size(), 64));
+  const size_t off = rng.Uniform(s.size() - len + 1);
+  s.insert(off, s.substr(off, len));
+}
+
+void OpChunkSplice(Rng& rng, std::string& s,
+                   const std::vector<std::string>& corpus) {
+  if (corpus.empty()) return;
+  const std::string& other = corpus[rng.Uniform(corpus.size())];
+  if (other.empty()) return;
+  const size_t len = 1 + rng.Uniform(std::min<size_t>(other.size(), 256));
+  const size_t src = rng.Uniform(other.size() - len + 1);
+  const size_t dst = rng.Uniform(s.size() + 1);
+  if (rng.Bernoulli(0.5) && dst + len <= s.size()) {
+    s.replace(dst, len, other, src, len);  // overwrite
+  } else {
+    s.insert(dst, other, src, len);  // insert
+  }
+}
+
+void OpInsertRandom(Rng& rng, std::string& s) {
+  const size_t len = 1 + rng.Uniform(16);
+  std::string bytes;
+  for (size_t i = 0; i < len; ++i) {
+    bytes.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  s.insert(rng.Uniform(s.size() + 1), bytes);
+}
+
+void OpTruncate(Rng& rng, std::string& s) {
+  if (s.size() < 2) return;
+  s.resize(1 + rng.Uniform(s.size() - 1));
+}
+
+/// Varint-aware rewrite: find a LEB128 varint at a random offset and
+/// replace it with the encoding of a mutated value. The replacement may be
+/// shorter or longer — downstream length/framing fields then disagree with
+/// the payload, which is exactly the corruption class the decoders must
+/// survive.
+void OpVarintTweak(Rng& rng, std::string& s) {
+  if (s.empty()) return;
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(s.data());
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const size_t off = rng.Uniform(s.size());
+    uint64_t value = 0;
+    const size_t len = TryDecodeLeb128(bytes + off, s.size() - off, &value);
+    if (len == 0) continue;
+    uint64_t mutated;
+    switch (rng.Uniform(4)) {
+      case 0:
+        mutated = kInterestingU64[rng.Uniform(std::size(kInterestingU64))];
+        break;
+      case 1:
+        mutated = value + rng.Uniform(16) + 1;
+        break;
+      case 2:
+        mutated = value - std::min<uint64_t>(value, rng.Uniform(16) + 1);
+        break;
+      default:
+        mutated = value * 2 + 1;
+        break;
+    }
+    std::string enc;
+    PutLeb128(&enc, mutated);
+    s.replace(off, len, enc);
+    return;
+  }
+}
+
+/// Length-field-aware rewrite: reinterpret 4 or 8 bytes at a random offset
+/// as a little-endian integer (the framing convention of every snapshot
+/// format here) and overwrite it with a boundary value.
+void OpLengthField(Rng& rng, std::string& s) {
+  const size_t width = rng.Bernoulli(0.5) ? 4 : 8;
+  if (s.size() < width) return;
+  const size_t off = rng.Uniform(s.size() - width + 1);
+  uint64_t value = 0;
+  std::memcpy(&value, s.data() + off, width);
+  uint64_t mutated;
+  switch (rng.Uniform(5)) {
+    case 0:
+      mutated = kInterestingU64[rng.Uniform(std::size(kInterestingU64))];
+      break;
+    case 1:
+      mutated = value + 1;
+      break;
+    case 2:
+      mutated = value - 1;
+      break;
+    case 3:
+      mutated = value * 2;
+      break;
+    default:
+      mutated = value >> 1;
+      break;
+  }
+  std::memcpy(s.data() + off, &mutated, width);
+}
+
+void OpDictToken(Rng& rng, std::string& s,
+                 const std::vector<std::string>& dict) {
+  if (dict.empty()) return;
+  const std::string& token = dict[rng.Uniform(dict.size())];
+  if (token.empty()) return;
+  const size_t dst = rng.Uniform(s.size() + 1);
+  if (rng.Bernoulli(0.5) && dst + token.size() <= s.size()) {
+    s.replace(dst, token.size(), token);
+  } else {
+    s.insert(dst, token);
+  }
+}
+
+}  // namespace
+
+std::string Mutator::Generate(const std::vector<std::string>& corpus,
+                              const std::vector<std::string>& dict,
+                              uint64_t index) const {
+  // Stateless per-index stream: re-deriving input `index` never requires
+  // replaying indices 0..index-1, so a crash found in a forked batch is
+  // reproduced from its index alone, and generation order (or the thread
+  // it happens on) cannot change any input.
+  uint64_t mix = seed_;
+  mix = HashCombine(SplitMix64(mix), index + 1);
+  Rng rng(mix);
+
+  std::string input;
+  if (!corpus.empty()) {
+    input = corpus[rng.Uniform(corpus.size())];
+  } else {
+    const size_t len = 1 + rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+  }
+
+  const int num_ops = 1 + static_cast<int>(rng.Uniform(4));
+  for (int op = 0; op < num_ops; ++op) {
+    switch (rng.Uniform(10)) {
+      case 0: OpBitFlip(rng, input); break;
+      case 1: OpByteSet(rng, input); break;
+      case 2: OpChunkDelete(rng, input); break;
+      case 3: OpChunkDup(rng, input); break;
+      case 4: OpChunkSplice(rng, input, corpus); break;
+      case 5: OpInsertRandom(rng, input); break;
+      case 6: OpTruncate(rng, input); break;
+      case 7: OpVarintTweak(rng, input); break;
+      case 8: OpLengthField(rng, input); break;
+      default: OpDictToken(rng, input, dict); break;
+    }
+  }
+  if (input.size() > max_len_) input.resize(max_len_);
+  return input;
+}
+
+// ---- scratch files ------------------------------------------------------
+
+ScratchFile::ScratchFile(const uint8_t* data, size_t size) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  const char* bases[] = {"/dev/shm", std::getenv("TMPDIR"), "/tmp"};
+  for (const char* base : bases) {
+    if (base == nullptr || base[0] == '\0') continue;
+    std::string candidate = std::string(base) + "/kbqa_fuzz_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(id) + ".bin";
+    std::FILE* f = std::fopen(candidate.c_str(), "wb");
+    if (f == nullptr) continue;
+    const bool ok =
+        size == 0 || std::fwrite(data, 1, size, f) == size;
+    if (std::fclose(f) == 0 && ok) {
+      path_ = std::move(candidate);
+      return;
+    }
+    std::remove(candidate.c_str());
+  }
+}
+
+ScratchFile::~ScratchFile() {
+  if (!path_.empty()) std::remove(path_.c_str());
+}
+
+// ---- fork execution & minimization --------------------------------------
+
+bool RunCrashesInFork(const std::string& input) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;  // cannot test; treat as not crashing
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 1);
+      ::dup2(devnull, 2);
+    }
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                           input.size());
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return !(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+std::string MinimizeCrash(const std::string& input, int max_execs) {
+  std::string cur = input;
+  int execs = 0;
+  for (size_t chunk = std::max<size_t>(cur.size() / 2, 1);;) {
+    bool progress = false;
+    for (size_t off = 0; off + chunk <= cur.size() && execs < max_execs;
+         off += chunk) {
+      std::string cand = cur.substr(0, off) + cur.substr(off + chunk);
+      ++execs;
+      if (RunCrashesInFork(cand)) {
+        cur = std::move(cand);
+        progress = true;
+        // Retry the same offset: the bytes now there were never tested.
+        off -= std::min(off, chunk);
+      }
+    }
+    if (execs >= max_execs) break;
+    if (!progress) {
+      if (chunk == 1) break;
+      chunk = chunk / 2;
+    }
+  }
+  return cur;
+}
+
+// ---- driver main --------------------------------------------------------
+
+namespace {
+
+void RunOneInProcess(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+/// Loads every regular file under `path` (a file or a directory, sorted by
+/// name for determinism) into `out`. Missing paths are skipped with a note
+/// — a target with no committed regressions yet is not an error.
+void LoadCorpusPath(const std::string& path, std::vector<std::string>* out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    std::fprintf(stderr, "note: corpus path %s absent, skipping\n",
+                 path.c_str());
+    return;
+  }
+  std::vector<fs::path> files;
+  if (fs::is_directory(st)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.emplace_back(path);
+  }
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    out->push_back(std::move(bytes));
+  }
+}
+
+std::string TargetName(const char* argv0) {
+  const std::string full(argv0 == nullptr ? "fuzz_target" : argv0);
+  const size_t slash = full.find_last_of('/');
+  return slash == std::string::npos ? full : full.substr(slash + 1);
+}
+
+struct Args {
+  std::vector<std::string> replay_paths;
+  std::vector<std::string> corpus_paths;
+  uint64_t iters = 0;
+  uint64_t seed = 1;
+  size_t max_len = 1 << 20;
+  bool expect_crash = false;
+  std::string crash_dir = ".";
+  std::string dump_seeds_dir;
+  bool replay_mode = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    auto value_of = [&arg](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      return arg.compare(0, len, flag) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--iters=")) {
+      args->iters = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--seed=")) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--max-len=")) {
+      args->max_len = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--crash-dir=")) {
+      args->crash_dir = v;
+    } else if (const char* v = value_of("--dump-seeds=")) {
+      args->dump_seeds_dir = v;
+    } else if (const char* v = value_of("--corpus=")) {
+      args->corpus_paths.push_back(v);
+    } else if (arg == "--expect-crash") {
+      args->expect_crash = true;
+    } else if (arg == "--replay") {
+      args->replay_mode = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      args->replay_paths.push_back(arg);
+      args->replay_mode = true;
+    }
+  }
+  return true;
+}
+
+int RunReplay(const Args& args) {
+  std::vector<std::string> inputs = SeedInputs();
+  const size_t num_seeds = inputs.size();
+  for (const std::string& path : args.replay_paths) {
+    LoadCorpusPath(path, &inputs);
+  }
+  for (const std::string& input : inputs) {
+    RunOneInProcess(input);  // a crash here kills the process: ctest red
+  }
+  std::fprintf(stdout, "replayed %zu inputs (%zu built-in seeds) clean\n",
+               inputs.size(), num_seeds);
+  return 0;
+}
+
+int RunFuzz(const std::string& target, const Args& args) {
+  std::vector<std::string> corpus = SeedInputs();
+  for (const std::string& path : args.corpus_paths) {
+    LoadCorpusPath(path, &corpus);
+  }
+  const std::vector<std::string> dict = Dictionary();
+  const Mutator mutator(args.seed, args.max_len);
+
+  // The child stores the index it is about to execute into shared memory;
+  // after a crash the parent reads it back and re-derives the input (the
+  // per-index generation stream makes that exact).
+  uint64_t* slot = static_cast<uint64_t*>(
+      ::mmap(nullptr, sizeof(uint64_t), PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  if (slot == MAP_FAILED) {
+    std::fprintf(stderr, "mmap failed; cannot run fork-batched fuzz\n");
+    return 2;
+  }
+
+  constexpr uint64_t kBatch = 64;
+  bool crashed = false;
+  uint64_t crash_index = 0;
+  for (uint64_t begin = 0; begin < args.iters && !crashed; begin += kBatch) {
+    const uint64_t end = std::min(begin + kBatch, args.iters);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed\n");
+      ::munmap(slot, sizeof(uint64_t));
+      return 2;
+    }
+    if (pid == 0) {
+      // Keep stderr: the first sanitizer report is the diagnostic.
+      for (uint64_t i = begin; i < end; ++i) {
+        *const_cast<volatile uint64_t*>(slot) = i;
+        const std::string input = mutator.Generate(corpus, dict, i);
+        RunOneInProcess(input);
+      }
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      crashed = true;
+      crash_index = *slot;
+    }
+  }
+  ::munmap(slot, sizeof(uint64_t));
+
+  if (!crashed) {
+    std::fprintf(stdout, "%s: %llu iterations, no crash (seed %llu)\n",
+                 target.c_str(),
+                 static_cast<unsigned long long>(args.iters),
+                 static_cast<unsigned long long>(args.seed));
+    return args.expect_crash ? 1 : 0;
+  }
+
+  const std::string input =
+      Mutator(args.seed, args.max_len).Generate(corpus, dict, crash_index);
+  std::fprintf(stderr,
+               "%s: CRASH at iteration %llu (%zu bytes); minimizing...\n",
+               target.c_str(), static_cast<unsigned long long>(crash_index),
+               input.size());
+  const std::string minimized =
+      RunCrashesInFork(input) ? MinimizeCrash(input) : input;
+  const uint64_t hash = util::Fnv1a64(minimized.data(), minimized.size());
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  const std::string out_path =
+      args.crash_dir + "/" + target + "-" + hash_hex + ".bin";
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(minimized.data(),
+            static_cast<std::streamsize>(minimized.size()));
+  out.close();
+  std::fprintf(stderr,
+               "%s: minimized to %zu bytes -> %s\n"
+               "    promote with: cp %s fuzz/corpus/regressions/%s/\n",
+               target.c_str(), minimized.size(), out_path.c_str(),
+               out_path.c_str(), target.c_str());
+  return args.expect_crash ? 0 : 1;
+}
+
+}  // namespace
+
+int FuzzDriverMain(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  const std::string target = TargetName(argc > 0 ? argv[0] : nullptr);
+
+  if (!args.dump_seeds_dir.empty()) {
+    std::filesystem::create_directories(args.dump_seeds_dir);
+    const std::vector<std::string> seeds = SeedInputs();
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "/seed-%04zu.bin", i);
+      std::ofstream out(args.dump_seeds_dir + name, std::ios::binary);
+      out.write(seeds[i].data(),
+                static_cast<std::streamsize>(seeds[i].size()));
+    }
+    std::fprintf(stdout, "dumped %zu seeds to %s\n", seeds.size(),
+                 args.dump_seeds_dir.c_str());
+    return 0;
+  }
+  if (args.iters > 0) return RunFuzz(target, args);
+  return RunReplay(args);  // default: replay built-in seeds (+ any paths)
+}
+
+}  // namespace kbqa::fuzz

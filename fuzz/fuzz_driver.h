@@ -1,0 +1,121 @@
+#ifndef KBQA_FUZZ_FUZZ_DRIVER_H_
+#define KBQA_FUZZ_FUZZ_DRIVER_H_
+
+/// In-repo deterministic fuzzing substrate (DESIGN.md §11).
+///
+/// Every byte-decode surface in the library gets a harness under
+/// fuzz/targets/, each exposing the libFuzzer-compatible entry point
+///
+///   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+///
+/// plus two structure hooks the deterministic driver uses:
+///
+///   std::vector<std::string> kbqa::fuzz::SeedInputs();   // valid inputs,
+///       synthesized with the *current* encoders so seeds never rot when a
+///       format evolves
+///   std::vector<std::string> kbqa::fuzz::Dictionary();   // magic numbers,
+///       keywords, escape sequences — tokens the mutator splices in
+///
+/// Two build flavors share the target sources unchanged:
+///  - default (any compiler, works in the gcc-only container): each target
+///    links fuzz_main.cc, giving a standalone binary with --replay /
+///    --iters / --minimize modes, run as ordinary ctest targets under the
+///    ASan+UBSan tree;
+///  - -DKBQA_LIBFUZZER=ON (clang CI): each target is additionally built
+///    against -fsanitize=fuzzer for coverage-guided runs.
+///
+/// The parser registry (fuzz/registry.json, enforced by scripts/lint.py)
+/// maps every public parse/decode entry point to its target, so a new
+/// byte-decoding surface cannot land without a harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace kbqa::fuzz {
+
+/// Defined by each fuzz target (see header comment).
+std::vector<std::string> SeedInputs();
+std::vector<std::string> Dictionary();
+
+/// Structure-aware, seeded mutation engine.
+///
+/// `Generate(corpus, dict, index)` is a pure function of its arguments and
+/// the constructor seed: the same (seed, corpus, dict, index) yields the
+/// same bytes on every run, host, thread, and call order — the property
+/// that makes the bounded ctest fuzz pass reproducible and lets the driver
+/// re-derive a crashing input from its index alone. There is no hidden
+/// state and no coverage feedback in this mode (coverage guidance is what
+/// the libFuzzer build adds).
+///
+/// Mutation operators: bit flips, interesting-byte overwrites, chunk
+/// delete / duplicate / splice (cross-corpus), random inserts, tail
+/// truncation, LEB128-varint-aware rewrites, little-endian length-field
+/// rewrites, and dictionary-token insertion. One generated input stacks
+/// 1–4 operators on a corpus pick.
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed, size_t max_len = 1 << 20)
+      : seed_(seed), max_len_(max_len) {}
+
+  std::string Generate(const std::vector<std::string>& corpus,
+                       const std::vector<std::string>& dict,
+                       uint64_t index) const;
+
+  size_t max_len() const { return max_len_; }
+
+ private:
+  uint64_t seed_;
+  size_t max_len_;
+};
+
+/// Writes `data` to a unique scratch file (prefers /dev/shm, falls back to
+/// $TMPDIR then /tmp) and unlinks it on destruction — the bridge between
+/// in-memory fuzz inputs and the library's path-taking loaders.
+class ScratchFile {
+ public:
+  ScratchFile(const uint8_t* data, size_t size);
+  ~ScratchFile();
+  ScratchFile(const ScratchFile&) = delete;
+  ScratchFile& operator=(const ScratchFile&) = delete;
+
+  /// Empty when the scratch file could not be created (target should
+  /// just return 0).
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Runs candidate `input` in a forked child with stderr silenced.
+/// True when the child dies by signal or exits non-zero — the crash
+/// predicate used by the fuzz loop and the minimizer.
+bool RunCrashesInFork(const std::string& input);
+
+/// Greedy chunk-removal + tail-trim minimization of a crashing input,
+/// bounded by `max_execs` forked runs. Returns the smallest input found
+/// that still satisfies RunCrashesInFork.
+std::string MinimizeCrash(const std::string& input, int max_execs = 400);
+
+/// Deterministic driver entry point (called by fuzz_main.cc):
+///
+///   <target> --replay PATH...          replay files/dirs in-process (plus
+///                                      the built-in seeds); any crash
+///                                      aborts the process — ctest red
+///   <target> --iters=N [--seed=S]      bounded deterministic fuzz pass;
+///                                      inputs run in fork batches so a
+///                                      crash is caught, re-derived by
+///                                      index, minimized, and written to
+///                                      --crash-dir (default: cwd)
+///   <target> --expect-crash            inverts the exit code of the fuzz
+///                                      pass (the planted-bug canary gate)
+///   <target> --dump-seeds=DIR          materialize SeedInputs() for an
+///                                      external (libFuzzer) corpus
+int FuzzDriverMain(int argc, char** argv);
+
+}  // namespace kbqa::fuzz
+
+#endif  // KBQA_FUZZ_FUZZ_DRIVER_H_

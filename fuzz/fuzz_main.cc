@@ -1,0 +1,9 @@
+// Standalone entry point for the deterministic driver build. Under
+// -DKBQA_LIBFUZZER=ON this file is NOT compiled — libFuzzer provides main
+// and calls LLVMFuzzerTestOneInput directly.
+
+#include "fuzz/fuzz_driver.h"
+
+int main(int argc, char** argv) {
+  return kbqa::fuzz::FuzzDriverMain(argc, argv);
+}

@@ -1,0 +1,50 @@
+// Planted-bug canary (NOT in the parser registry): a sacrificial decoder
+// with a known out-of-bounds read that the deterministic driver must find
+// within its ctest iteration budget. If the mutation engine regresses —
+// stops truncating, stops hitting length fields — this target's
+// --expect-crash test goes red before any real decoder loses its guard.
+//
+// Record format: "CNRY" magic, one length byte, then `length` payload
+// bytes. The planted bug: the length byte is trusted without checking it
+// against the remaining input.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 5 || std::memcmp(data, "CNRY", 4) != 0) return 0;
+  const size_t payload_len = data[4];
+  // BUG (intentional): no `5 + payload_len <= size` check. ASan flags the
+  // heap OOB read; the explicit trap makes plain builds crash too, so the
+  // canary has teeth in every build flavor.
+  if (5 + payload_len > size) {
+    volatile uint8_t oob = data[5 + payload_len - 1];  // OOB read under ASan
+    (void)oob;
+    __builtin_trap();
+  }
+  std::string payload(reinterpret_cast<const char*>(data) + 5, payload_len);
+  (void)payload;
+  return 0;
+}
+
+namespace kbqa::fuzz {
+
+std::vector<std::string> SeedInputs() {
+  std::vector<std::string> seeds;
+  for (const size_t n : {size_t{8}, size_t{16}, size_t{32}}) {
+    std::string s = "CNRY";
+    s.push_back(static_cast<char>(n));
+    s.append(n, 'x');
+    seeds.push_back(s);
+  }
+  return seeds;
+}
+
+std::vector<std::string> Dictionary() {
+  return {"CNRY", std::string("\xff", 1)};
+}
+
+}  // namespace kbqa::fuzz

@@ -1,0 +1,41 @@
+// Fuzz target: QA-corpus TSV import and field escaping (registry:
+// src/corpus/corpus_io.h). Oracle: Unescape(Escape(x)) == x for every x.
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "fuzz/fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const std::string escaped = kbqa::corpus::EscapeTsvField(text);
+  if (kbqa::corpus::UnescapeTsvField(escaped) != text) {
+    __builtin_trap();  // escape round-trip broken
+  }
+  (void)kbqa::corpus::UnescapeTsvField(text);  // arbitrary escape soup
+
+  kbqa::fuzz::ScratchFile file(data, size);
+  if (!file.path().empty()) {
+    auto corpus = kbqa::corpus::ImportQaTsv(file.path());
+    if (corpus.ok()) (void)corpus.value().size();
+  }
+  return 0;
+}
+
+namespace kbqa::fuzz {
+
+std::vector<std::string> SeedInputs() {
+  return {
+      "who is the wife of barack obama\tmichelle obama\n",
+      "# comment\nq with \\t tab\ta\\nb\n\nsecond question\tanswer two\n",
+      "trailing backslash \\\\\tok\n",
+  };
+}
+
+std::vector<std::string> Dictionary() {
+  return {"\t", "\\t", "\\n", "\\\\", "#", "\n"};
+}
+
+}  // namespace kbqa::fuzz

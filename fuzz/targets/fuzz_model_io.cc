@@ -1,0 +1,94 @@
+// Fuzz target: learned-model artifact loading (registry: src/core/model_io.h
+// and the KbqaSystem::LoadModel wrapper in src/core/kbqa_system.h, which
+// delegates here). Loads arbitrary bytes against a fixed small KB.
+
+#include <string>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/template_store.h"
+#include "fuzz/fuzz_driver.h"
+#include "fuzz/targets/seed_util.h"
+#include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
+
+namespace {
+
+const kbqa::rdf::KnowledgeBase& SharedKb() {
+  static const kbqa::rdf::KnowledgeBase kb = [] {
+    kbqa::rdf::KnowledgeBase b;
+    b.SetNamePredicate(b.AddPredicate("name"));
+    b.AddTriple("barack", "marriage", "m1", false);
+    b.AddTriple("m1", "person", "michelle", false);
+    b.AddTriple("michelle", "name", "Michelle Obama", true);
+    b.Freeze();
+    return b;
+  }();
+  return kb;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  kbqa::fuzz::ScratchFile file(data, size);
+  if (file.path().empty()) return 0;
+  auto model = kbqa::core::LoadModel(SharedKb(), file.path());
+  if (!model.ok()) return 0;
+  const kbqa::core::LoadedModel& loaded = model.value();
+  for (kbqa::core::TemplateId t = 0; t < loaded.store.num_templates(); ++t) {
+    (void)loaded.store.TemplateText(t);
+    for (const auto& entry : loaded.store.Distribution(t)) {
+      (void)loaded.paths.GetPath(entry.path);  // every PathId must resolve
+    }
+  }
+  return 0;
+}
+
+namespace kbqa::fuzz {
+
+std::vector<std::string> SeedInputs() {
+  std::vector<std::string> seeds;
+  const rdf::KnowledgeBase& kb = SharedKb();
+  {
+    core::TemplateStore store;
+    rdf::PathDictionary paths;
+    const rdf::PredId name = *kb.LookupPredicate("name");
+    const rdf::PredId marriage = *kb.LookupPredicate("marriage");
+    const rdf::PredId person = *kb.LookupPredicate("person");
+    const rdf::PathId direct = paths.Intern({marriage});
+    const rdf::PathId chain = paths.Intern({marriage, person, name});
+    const core::TemplateId t = store.Intern("who is the wife of $person");
+    store.AddFrequency(t, 3);
+    store.SetDistribution(t, {{chain, 0.7}, {direct, 0.3}});
+    const core::TemplateId t2 = store.Intern("what is $person");
+    store.AddFrequency(t2, 1);
+    SeedTempPath tmp("model");
+    const Status st = core::SaveModel(store, paths, kb, tmp.path());
+    if (st.ok()) seeds.push_back(FileBytes(tmp.path()));
+  }
+  {
+    // Empty model: the minimal valid artifact.
+    core::TemplateStore store;
+    rdf::PathDictionary paths;
+    SeedTempPath tmp("model0");
+    const Status st = core::SaveModel(store, paths, kb, tmp.path());
+    if (st.ok()) seeds.push_back(FileBytes(tmp.path()));
+  }
+  return seeds;
+}
+
+std::vector<std::string> Dictionary() {
+  std::vector<std::string> dict;
+  for (const std::string& seed : SeedInputs()) {
+    if (seed.size() >= 8) {
+      dict.push_back(seed.substr(0, 8));  // model magic
+      break;
+    }
+  }
+  dict.emplace_back("name");
+  dict.emplace_back("marriage");
+  dict.emplace_back("no_such_predicate");
+  return dict;
+}
+
+}  // namespace kbqa::fuzz

@@ -1,0 +1,54 @@
+// Fuzz target: N-Triples text parsing (registry: src/rdf/ntriples.h).
+// Covers both the single-line parser (with the format→parse round-trip
+// oracle the escape-symmetry tests promise) and the whole-file import
+// through a scratch file.
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_driver.h"
+#include "rdf/ntriples.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto parsed = kbqa::rdf::ParseNTripleLine(text);
+  if (parsed.ok()) {
+    const auto& t = parsed.value();
+    const std::string formatted = kbqa::rdf::FormatNTripleLine(t);
+    auto reparsed = kbqa::rdf::ParseNTripleLine(formatted);
+    if (!reparsed.ok() || reparsed.value().subject != t.subject ||
+        reparsed.value().predicate != t.predicate ||
+        reparsed.value().object != t.object ||
+        reparsed.value().object_is_literal != t.object_is_literal) {
+      __builtin_trap();  // escape symmetry broken: format must re-parse
+    }
+  }
+
+  kbqa::fuzz::ScratchFile file(data, size);
+  if (!file.path().empty()) {
+    auto kb = kbqa::rdf::ImportNTriples(file.path());
+    if (kb.ok()) (void)kb.value().num_triples();
+  }
+  return 0;
+}
+
+namespace kbqa::fuzz {
+
+std::vector<std::string> SeedInputs() {
+  return {
+      "<barack> <marriage> <m1> .",
+      "<m1> <person> <michelle> .",
+      "<michelle> <name> \"Michelle Obama\" .",
+      "<e> <name> \"tab\\t nl\\n quote\\\" back\\\\ u\\u0041 U\\U0001F600\" .",
+      "# comment line\n<a> <p> <b> .\n\n<a> <name> \"a\" .\n",
+      "<s> <p> \"\" .",
+  };
+}
+
+std::vector<std::string> Dictionary() {
+  return {"<", ">", "\"", " .", "\\u0041", "\\U0001F600", "\\uD800",
+          "\\n",  "\\\"", "\\\\", "#", "name", "\n"};
+}
+
+}  // namespace kbqa::fuzz

@@ -1,0 +1,51 @@
+// Fuzz target: the small text parsers (registry: src/rdf/query.h,
+// src/util/strings.h ParseNonNegativeInt, src/core/variants.h
+// ParseOrdinal). Oracle: QueryToString is a stable round-trip through
+// ParseQuery.
+
+#include <string>
+#include <vector>
+
+#include "core/variants.h"
+#include "fuzz/fuzz_driver.h"
+#include "rdf/query.h"
+#include "util/strings.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto query = kbqa::rdf::ParseQuery(text);
+  if (query.ok()) {
+    const std::string rendered = kbqa::rdf::QueryToString(query.value());
+    auto reparsed = kbqa::rdf::ParseQuery(rendered);
+    if (!reparsed.ok() ||
+        reparsed.value().select != query.value().select ||
+        reparsed.value().where != query.value().where) {
+      __builtin_trap();  // QueryToString must round-trip
+    }
+  }
+  (void)kbqa::ParseNonNegativeInt(text);
+  (void)kbqa::core::ParseOrdinal(text);
+  return 0;
+}
+
+namespace kbqa::fuzz {
+
+std::vector<std::string> SeedInputs() {
+  return {
+      "SELECT ?wife WHERE { person/a marriage ?m . ?m person ?p . "
+      "?p name ?wife }",
+      "SELECT ?v WHERE { barack name ?v }",
+      "SELECT ?x ?y WHERE { ?x likes \"barack obama\" . ?x knows ?y }",
+      "42nd",
+      "first",
+      "123456",
+  };
+}
+
+std::vector<std::string> Dictionary() {
+  return {"SELECT", "WHERE", "?x", "{", "}", " . ", "\"barack obama\"",
+          "name",   "?",     "\"", "third", "99th"};
+}
+
+}  // namespace kbqa::fuzz

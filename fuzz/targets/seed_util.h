@@ -1,0 +1,43 @@
+#ifndef KBQA_FUZZ_TARGETS_SEED_UTIL_H_
+#define KBQA_FUZZ_TARGETS_SEED_UTIL_H_
+
+// Helpers shared by the fuzz targets' SeedInputs() implementations:
+// seeds for file-format targets are synthesized with the *current*
+// encoders (Save → read bytes back → unlink), so a format change can
+// never strand the corpus on stale bytes.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace kbqa::fuzz {
+
+inline std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// A unique temp path for one Save during seed synthesis; unlinks on
+/// destruction (Save itself is atomic-rename, so no partial file lingers).
+class SeedTempPath {
+ public:
+  explicit SeedTempPath(const char* tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = "/tmp/kbqa_seed_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)) + "_" + tag;
+  }
+  ~SeedTempPath() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace kbqa::fuzz
+
+#endif  // KBQA_FUZZ_TARGETS_SEED_UTIL_H_

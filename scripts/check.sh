@@ -29,6 +29,12 @@
 #                             # /slo /eventz live, schema-check a scraped
 #                             # wide event, then summarize the drained
 #                             # JSONL with scripts/trace_summarize.py
+#   scripts/check.sh --fuzz-smoke
+#                             # deterministic fuzzing layer under ASan+UBSan:
+#                             # replay every committed corpus + regression
+#                             # input, run a bounded fuzz pass per target,
+#                             # and prove the planted canary bug is found
+#                             # within its budget (fuzz/ — DESIGN.md §11)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -138,6 +144,22 @@ run_obs_smoke() {
   python3 scripts/validate_bench.py build/BENCH_serving.json
 }
 
+run_fuzz_smoke() {
+  echo "== fuzz smoke (ASan+UBSan tree) =="
+  cmake -B build-asan -S . -DASAN=ON >/dev/null
+  local targets
+  targets=$(python3 -c "import json; print(' '.join(sorted({e['target'] \
+      for e in json.load(open('fuzz/registry.json'))['entries']})))")
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "$JOBS" --target $targets fuzz_canary
+  echo "== corpus + regression replay, bounded pass per target =="
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R '^fuzz_.*_(replay|smoke)$'
+  echo "== planted-bug canary =="
+  ctest --test-dir build-asan --output-on-failure \
+      -R '^fuzz_canary_finds_planted_bug$'
+}
+
 case "${1:-}" in
   --lint)
     run_lint
@@ -159,6 +181,10 @@ case "${1:-}" in
     run_obs_smoke
     echo "== OK (obs smoke) =="
     ;;
+  --fuzz-smoke)
+    run_fuzz_smoke
+    echo "== OK (fuzz smoke) =="
+    ;;
   --tsan)
     run_tsan
     echo "== OK (tsan) =="
@@ -175,7 +201,7 @@ case "${1:-}" in
     echo "== OK =="
     ;;
   *)
-    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke|--mutation-smoke|--obs-smoke]" >&2
+    echo "usage: scripts/check.sh [fast|--lint|--tsan|--serve-smoke|--mem-smoke|--mutation-smoke|--obs-smoke|--fuzz-smoke]" >&2
     exit 2
     ;;
 esac

@@ -18,16 +18,24 @@ Static checks that encode repository conventions the compiler can't:
                 registry Get* calls follow snake.dot convention:
                 lowercase [a-z0-9_] segments joined by single dots
                 (e.g. "online.answer_cache.hits", span name "em.iteration").
-  iwyu-util     src/util headers are self-contained (each compiles as the
-                sole include of a TU) and their std includes match use: no
-                missing <header> for a used std symbol, no included
-                <header> with zero used symbols.
+  iwyu-util     src/util headers' std includes match use: no missing
+                <header> for a used std symbol, no included <header> with
+                zero used symbols.
+  self-contained  Every src/**/*.h compiles standalone as the sole include
+                of a TU (include-what-you-use style).
+  fuzz-registry Every public parse/decode entry point in src/**/*.h (any
+                declaration matching (Parse|Decode|Import|Load|Open|
+                Unescape)*) is claimed by fuzz/registry.json, and every
+                registry entry names a fuzz target that exists under
+                fuzz/targets/ and is wired into fuzz/CMakeLists.txt — a
+                new byte-decoding surface cannot land without a harness.
 
 Any rule can be suppressed per line with `// NOLINT(kbqa-<rule>)`.
 Exit status 0 = clean, 1 = findings, 2 = usage/environment error.
 """
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -37,7 +45,7 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 SRC_DIRS = ["src"]
-ALL_CODE_DIRS = ["src", "tests", "bench", "tools"]
+ALL_CODE_DIRS = ["src", "tests", "bench", "tools", "fuzz"]
 CC_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 NOLINT_RE = re.compile(r"NOLINT\((kbqa-[a-z-]+)\)")
@@ -235,7 +243,7 @@ IWYU_SYMBOLS = {
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")', re.M)
 
 
-def check_iwyu_util(findings, compiler):
+def check_iwyu_util(findings):
     util_dir = os.path.join(REPO, "src", "util")
     headers = [f for f in sorted(os.listdir(util_dir)) if f.endswith(".h")]
     for header in headers:
@@ -254,24 +262,116 @@ def check_iwyu_util(findings, compiler):
                 findings.append(Finding(
                     path, 1, "iwyu",
                     f"includes {std_header} but uses none of its symbols"))
-        # Self-containment: the header must compile as the lone include.
-        if compiler:
-            with tempfile.NamedTemporaryFile(
-                    mode="w", suffix=".cc", delete=False) as tu:
-                tu.write(f'#include "util/{header}"\n')
-                tu_path = tu.name
-            try:
-                proc = subprocess.run(
-                    [compiler, "-std=c++20", "-fsyntax-only",
-                     "-I", os.path.join(REPO, "src"), tu_path],
-                    capture_output=True, text=True)
-                if proc.returncode != 0:
-                    first = (proc.stderr.strip().splitlines() or ["?"])[0]
-                    findings.append(Finding(
-                        path, 1, "iwyu",
-                        f"not self-contained: {first}"))
-            finally:
-                os.unlink(tu_path)
+
+
+def src_headers():
+    """Repo-relative paths (posix form) of every header under src/."""
+    out = []
+    for path in find_files(SRC_DIRS):
+        if path.endswith(".h"):
+            out.append(os.path.relpath(path, REPO).replace(os.sep, "/"))
+    return out
+
+
+def check_self_contained(findings, compiler):
+    """Compiles every src/**/*.h standalone. One batched -fsyntax-only
+    invocation covers the common all-clean case (one compiler start, not
+    one per header matters on a 1-core CI box); on failure each header is
+    re-checked individually so the finding lands on the right file.
+    """
+    if not compiler:
+        return
+    headers = src_headers()
+    with tempfile.TemporaryDirectory() as tmp:
+        tus = []
+        for rel in headers:
+            include = rel[len("src/"):]
+            tu_path = os.path.join(
+                tmp, "tu_" + include.replace("/", "_") + ".cc")
+            with open(tu_path, "w", encoding="utf-8") as tu:
+                tu.write(f'#include "{include}"\n')
+            tus.append((rel, tu_path))
+        base_cmd = [compiler, "-std=c++20", "-fsyntax-only",
+                    "-I", os.path.join(REPO, "src")]
+        batch = subprocess.run(base_cmd + [tu for _, tu in tus],
+                               capture_output=True, text=True)
+        if batch.returncode == 0:
+            return
+        for rel, tu_path in tus:
+            proc = subprocess.run(base_cmd + [tu_path],
+                                  capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = (proc.stderr.strip().splitlines() or ["?"])[0]
+                findings.append(Finding(
+                    os.path.join(REPO, rel), 1, "self-contained",
+                    f"header does not compile standalone: {first}"))
+
+
+# Declarations that take untrusted bytes. Matched against comment-stripped
+# header text, so prose like "Loads a snapshot" never triggers.
+PARSE_SURFACE_RE = re.compile(
+    r"\b((?:Parse|Decode|Import|Load|Open|Unescape)[A-Za-z0-9_]*)\s*\(")
+
+
+def check_fuzz_registry(findings):
+    registry_path = os.path.join(REPO, "fuzz", "registry.json")
+    try:
+        with open(registry_path, encoding="utf-8") as f:
+            registry = json.load(f)
+    except (OSError, ValueError) as e:
+        findings.append(Finding(registry_path, 1, "fuzz-registry",
+                                f"cannot load registry: {e}"))
+        return
+
+    claimed = {}   # header -> set of function names claimed by entries
+    for entry in registry.get("entries", []):
+        claimed.setdefault(entry["header"], set()).update(entry["functions"])
+    for entry in registry.get("exempt", []):
+        claimed.setdefault(entry["header"], set()).add(entry["function"])
+
+    # Direction 1: every parse/decode declaration is claimed.
+    for rel in src_headers():
+        path = os.path.join(REPO, rel)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        stripped = strip_comments_and_strings(raw).splitlines()
+        for lineno, line in enumerate(stripped, 1):
+            for m in PARSE_SURFACE_RE.finditer(line):
+                name = m.group(1)
+                if name in claimed.get(rel, set()):
+                    continue
+                if suppressed(raw_lines[lineno - 1], "fuzz-registry"):
+                    continue
+                findings.append(Finding(
+                    path, lineno, "fuzz-registry",
+                    f"parse/decode surface {name}() has no fuzz target; "
+                    "add it to fuzz/registry.json (entries or exempt) and "
+                    "cover it under fuzz/targets/"))
+
+    # Direction 2: every entry's target exists and is wired into CMake.
+    cmake_path = os.path.join(REPO, "fuzz", "CMakeLists.txt")
+    try:
+        with open(cmake_path, encoding="utf-8") as f:
+            cmake = f.read()
+    except OSError:
+        cmake = ""
+    for entry in registry.get("entries", []):
+        target = entry["target"]
+        target_cc = os.path.join(REPO, "fuzz", "targets", target + ".cc")
+        if not os.path.isfile(target_cc):
+            findings.append(Finding(
+                registry_path, 1, "fuzz-registry",
+                f"registry target {target} has no fuzz/targets/{target}.cc"))
+        elif not re.search(r"\b" + re.escape(target) + r"\b", cmake):
+            findings.append(Finding(
+                registry_path, 1, "fuzz-registry",
+                f"registry target {target} is not wired into "
+                "fuzz/CMakeLists.txt"))
+        if not os.path.isfile(os.path.join(REPO, entry["header"])):
+            findings.append(Finding(
+                registry_path, 1, "fuzz-registry",
+                f"registry names missing header {entry['header']}"))
 
 
 def find_compiler():
@@ -308,7 +408,9 @@ def main():
     if not args.no_compile and compiler is None:
         print("lint: warning: no C++ compiler found; "
               "skipping self-containment checks", file=sys.stderr)
-    check_iwyu_util(findings, compiler)
+    check_iwyu_util(findings)
+    check_self_contained(findings, compiler)
+    check_fuzz_registry(findings)
 
     for finding in findings:
         print(finding)

@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -28,6 +29,16 @@ bool ReadF64(std::FILE* f, double* v) {
 bool ReadString(std::FILE* f, std::string* s) {
   uint64_t n = 0;
   if (!ReadU64(f, &n) || n > (1ULL << 30)) return false;
+  if (n > 0) {
+    // Size the buffer only after confirming the file actually holds n more
+    // bytes: a corrupt length header must fail as Corruption, not allocate
+    // up to 1 GiB first.
+    const long pos = std::ftell(f);
+    if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return false;
+    const long end = std::ftell(f);
+    if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return false;
+    if (n > static_cast<uint64_t>(end - pos)) return false;
+  }
   s->resize(n);
   return n == 0 || std::fread(s->data(), 1, n, f) == n;
 }
@@ -94,6 +105,9 @@ Result<LoadedModel> LoadModel(const rdf::KnowledgeBase& kb,
       }
       double probability = 0;
       ok = ok && ReadF64(f, &probability);
+      // NaN would break SetDistribution's sort (strict weak ordering);
+      // infinities and negatives are equally meaningless as probabilities.
+      ok = ok && std::isfinite(probability) && probability >= 0;
       if (!ok) break;
       if (resolvable) {
         dist.push_back(

@@ -241,6 +241,13 @@ Result<CompressedExpandedKb> CompressedExpandedKb::Open(
       num_blocks > kMaxCount) {
     return fail("bad block count");
   }
+  // Each index entry takes at least 11 encoded bytes (three varints plus a
+  // fixed64 checksum); gate the reserve against the bytes actually present
+  // so a corrupt count fails as Corruption instead of allocating ~32 bytes
+  // per phantom block.
+  if (num_blocks > static_cast<uint64_t>(limit - p) / 11) {
+    return fail("bad block count");
+  }
   c.index_.reserve(num_blocks);
   uint64_t slot = 0, edges = 0, offset = 0;
   for (uint64_t i = 0; i < num_blocks; ++i) {
@@ -252,6 +259,14 @@ Result<CompressedExpandedKb> CompressedExpandedKb::Open(
       return fail("bad block index entry");
     }
     if (b.num_subjects == 0) return fail("empty block in index");
+    // Every encoded edge takes at least two bytes (two varints), and each
+    // subject run carries a varint length header, so a valid block can
+    // never claim more logical items than encoded bytes. DecodePayload
+    // sizes its buffers from these counts; reject the lie before it does.
+    if (b.num_edges > b.encoded_bytes ||
+        b.num_subjects > b.encoded_bytes) {
+      return fail("block item count exceeds encoded bytes");
+    }
     b.first_slot = static_cast<uint32_t>(slot);
     b.offset = offset;
     slot += b.num_subjects;

@@ -365,12 +365,22 @@ void WriteDictionary(BinaryWriter& w, const Dictionary& dict) {
 
 /// Reads a dictionary written by WriteDictionary. Returns false on any
 /// structural problem (reader I/O errors are checked by the caller).
-bool ReadDictionary(BinaryReader& r, Dictionary* dict) {
+/// `budget` is the number of bytes left in the file: every buffer sized
+/// from an in-file count must fit in it, so a corrupt count fails here
+/// with Corruption instead of attempting a multi-gigabyte allocation.
+bool ReadDictionary(BinaryReader& r, uint64_t budget, Dictionary* dict) {
   uint64_t n = r.ReadU64();
   if (!r.ok() || n > kMaxCount) return false;
+  if (budget < sizeof(uint64_t) ||
+      n + 1 > (budget - sizeof(uint64_t)) / sizeof(uint64_t)) {
+    return false;
+  }
   std::vector<uint64_t> offsets(n + 1, 0);
   r.ReadBytes(offsets.data(), offsets.size() * sizeof(uint64_t));
-  if (!r.ok() || offsets[0] != 0 || offsets[n] > kMaxBlobBytes) return false;
+  if (!r.ok() || offsets[0] != 0 || offsets[n] > kMaxBlobBytes ||
+      offsets[n] > budget) {
+    return false;
+  }
   for (size_t i = 0; i < n; ++i) {
     if (offsets[i] > offsets[i + 1]) return false;
   }
@@ -658,14 +668,22 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
   }
   if (magic != kMagicV2 && magic != kMagicV3) return fail("bad magic");
 
+  // Total file size gates every count / length header before a buffer is
+  // sized from it, in both format versions: a corrupt header must fail
+  // with Corruption, never trigger a garbage-sized allocation.
+  if (std::fseek(f, 0, SEEK_END) != 0) return fail("unseekable snapshot");
+  const long file_end = std::ftell(f);
+  if (file_end < 8 || std::fseek(f, 8, SEEK_SET) != 0) {
+    return fail("unseekable snapshot");
+  }
+  // Bytes left between the reader's current position and end of file.
+  auto bytes_left = [&]() -> uint64_t {
+    const long pos = std::ftell(f);
+    if (pos < 0 || pos > file_end) return 0;
+    return static_cast<uint64_t>(file_end - pos);
+  };
+
   if (magic == kMagicV3) {
-    // Total file size gates every section length header before a buffer is
-    // sized from it.
-    if (std::fseek(f, 0, SEEK_END) != 0) return fail("unseekable snapshot");
-    const long file_end = std::ftell(f);
-    if (file_end < 8 || std::fseek(f, 8, SEEK_SET) != 0) {
-      return fail("unseekable snapshot");
-    }
     uint64_t remaining = static_cast<uint64_t>(file_end) - 8;
     std::string enc;
     auto section_bytes = [&enc] {
@@ -739,7 +757,9 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
     return kb;
   }
 
-  if (!ReadDictionary(r, &kb.nodes_)) return fail("bad node dictionary");
+  if (!ReadDictionary(r, bytes_left(), &kb.nodes_)) {
+    return fail("bad node dictionary");
+  }
   const size_t num_nodes = kb.nodes_.size();
   std::vector<uint8_t> literal_bytes(num_nodes);
   r.ReadBytes(literal_bytes.data(), literal_bytes.size());
@@ -752,7 +772,7 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
     if (literal_bytes[i] == 0) ++kb.num_entities_;
   }
 
-  if (!ReadDictionary(r, &kb.predicates_)) {
+  if (!ReadDictionary(r, bytes_left(), &kb.predicates_)) {
     return fail("bad predicate dictionary");
   }
   uint32_t name_pred = r.ReadU32();
@@ -761,12 +781,13 @@ Result<KnowledgeBase> KnowledgeBase::Load(const std::string& path) {
                       std::vector<PredicateObject>* edges) {
     uint64_t num_edges = r.ReadU64();
     if (!r.ok() || num_edges > kMaxCount) return false;
+    // Gate both buffers against the bytes actually left in the file
+    // *before* sizing them: a corrupt or truncated file must fail here
+    // with Corruption, not allocate and bulk-read a garbage-sized block.
+    if (num_edges > bytes_left() / sizeof(PredicateObject)) return false;
     offsets->assign(num_nodes + 1, 0);
     r.ReadBytes(offsets->data(), offsets->size() * sizeof(uint64_t));
     if (!r.ok()) return false;
-    // Gate the offsets against the edge-count header *before* sizing the
-    // edge buffer from it: a corrupt or truncated file must fail here with
-    // Corruption, not allocate and bulk-read a garbage-sized block.
     if ((*offsets)[0] != 0 || (*offsets)[num_nodes] != num_edges) {
       return false;
     }

@@ -197,6 +197,18 @@ std::string ExpositionServer::HandlePath(const ExpositionOptions& options,
   return "not found; see / for endpoints\n";
 }
 
+std::string ExpositionServer::ParseRequestPath(const std::string& request) {
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) return "/";
+  const size_t path_start = 4;
+  const size_t path_end = line.find(' ', path_start);
+  return line.substr(path_start, path_end == std::string::npos
+                                     ? std::string::npos
+                                     : path_end - path_start);
+}
+
 Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
     const ExpositionOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -276,18 +288,7 @@ void ExpositionServer::ServeConnection(int fd) {
     // netcat sends) has no header block; one line is a full request.
     if (request.find('\n') != std::string::npos) break;
   }
-  // Parse "GET <path> ..." from the first line.
-  const size_t line_end = request.find_first_of("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  std::string path = "/";
-  if (line.rfind("GET ", 0) == 0) {
-    const size_t path_start = 4;
-    const size_t path_end = line.find(' ', path_start);
-    path = line.substr(path_start, path_end == std::string::npos
-                                       ? std::string::npos
-                                       : path_end - path_start);
-  }
+  const std::string path = ParseRequestPath(request);
   int status = 200;
   std::string content_type;
   const std::string body = HandlePath(options_, path, &status, &content_type);

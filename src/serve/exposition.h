@@ -71,6 +71,13 @@ class ExpositionServer {
                                 int* status_out,
                                 std::string* content_type_out);
 
+  /// Extracts the request path from a raw request blob: the first line's
+  /// "GET <path> ..." form, tolerating HTTP/0.9 one-liners, missing
+  /// versions, and truncated reads. Returns "/" when no path can be
+  /// extracted. Pure — the byte-facing half of the request parser, split
+  /// out so tests and the fuzz harness drive it without a socket.
+  static std::string ParseRequestPath(const std::string& request);
+
  private:
   ExpositionServer(const ExpositionOptions& options, int listen_fd, int port);
 

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -20,6 +21,7 @@
 #include "corpus/world_generator.h"
 #include "obs/wide_event.h"
 #include "rdf/expanded_predicate.h"
+#include "util/coding.h"
 #include "util/status.h"
 
 namespace kbqa {
@@ -285,6 +287,164 @@ TEST(CompressedExpandedKbTest, BitFlippedSnapshotIsCorruption) {
   }
   std::remove(path.c_str());
   std::remove(flip_path.c_str());
+}
+
+// Decoded form of the checksummed metadata section, so tests can lie about
+// individual counts and re-seal the section with a matching checksum: the
+// FNV-1a sum catches accidental corruption, not files produced by a buggy
+// or hostile writer, so count fields must be validated on their own.
+struct MetaFields {
+  struct Block {
+    uint32_t num_subjects = 0;
+    uint32_t num_edges = 0;
+    uint32_t encoded_bytes = 0;
+    uint64_t checksum = 0;
+  };
+  uint64_t num_triples = 0;
+  uint64_t raw_bytes = 0;
+  std::vector<std::vector<uint32_t>> paths;
+  std::vector<uint32_t> subjects;
+  std::vector<Block> blocks;
+  // When nonzero, the encoded block-count header lies relative to the
+  // actual number of index entries that follow it.
+  uint64_t block_count_override = 0;
+};
+
+void ParseMeta(const std::string& meta, MetaFields* m) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(meta.data());
+  const uint8_t* limit = p + meta.size();
+  uint64_t num_paths = 0;
+  p = util::GetVarint64(p, limit, &m->num_triples);
+  ASSERT_NE(p, nullptr);
+  p = util::GetVarint64(p, limit, &m->raw_bytes);
+  ASSERT_NE(p, nullptr);
+  p = util::GetVarint64(p, limit, &num_paths);
+  ASSERT_NE(p, nullptr);
+  for (uint64_t i = 0; i < num_paths; ++i) {
+    uint64_t len = 0;
+    p = util::GetVarint64(p, limit, &len);
+    ASSERT_NE(p, nullptr);
+    std::vector<uint32_t> path(len, 0);
+    for (uint64_t j = 0; j < len; ++j) {
+      p = util::GetVarint32(p, limit, &path[j]);
+      ASSERT_NE(p, nullptr);
+    }
+    m->paths.push_back(std::move(path));
+  }
+  ASSERT_TRUE(util::DecodeDeltaRun32(&p, limit, &m->subjects));
+  uint64_t num_blocks = 0;
+  p = util::GetVarint64(p, limit, &num_blocks);
+  ASSERT_NE(p, nullptr);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    MetaFields::Block b;
+    p = util::GetVarint32(p, limit, &b.num_subjects);
+    ASSERT_NE(p, nullptr);
+    p = util::GetVarint32(p, limit, &b.num_edges);
+    ASSERT_NE(p, nullptr);
+    p = util::GetVarint32(p, limit, &b.encoded_bytes);
+    ASSERT_NE(p, nullptr);
+    p = util::GetFixed64(p, limit, &b.checksum);
+    ASSERT_NE(p, nullptr);
+    m->blocks.push_back(b);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+std::string EncodeMeta(const MetaFields& m) {
+  std::string meta;
+  util::PutVarint64(&meta, m.num_triples);
+  util::PutVarint64(&meta, m.raw_bytes);
+  util::PutVarint64(&meta, m.paths.size());
+  for (const auto& path : m.paths) {
+    util::PutVarint64(&meta, path.size());
+    for (uint32_t pred : path) util::PutVarint32(&meta, pred);
+  }
+  util::AppendDeltaRun32(&meta, m.subjects.data(), m.subjects.size());
+  util::PutVarint64(&meta, m.block_count_override != 0
+                               ? m.block_count_override
+                               : m.blocks.size());
+  for (const auto& b : m.blocks) {
+    util::PutVarint32(&meta, b.num_subjects);
+    util::PutVarint32(&meta, b.num_edges);
+    util::PutVarint32(&meta, b.encoded_bytes);
+    util::PutFixed64(&meta, b.checksum);
+  }
+  return meta;
+}
+
+/// Rebuilds a snapshot file around mutated metadata, re-sealing the
+/// section with a correct length header and FNV-1a checksum.
+std::string ResealFile(const std::string& original, const MetaFields& m) {
+  uint64_t old_len = 0;
+  std::memcpy(&old_len, original.data() + 8, sizeof(old_len));
+  const std::string payload = original.substr(16 + old_len + 8);
+  const std::string meta = EncodeMeta(m);
+  std::string out = original.substr(0, 8);
+  const uint64_t len = meta.size();
+  out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out += meta;
+  const uint64_t sum = util::Fnv1a64(meta.data(), meta.size());
+  out.append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  out += payload;
+  return out;
+}
+
+TEST(CompressedExpandedKbTest, ForgedMetadataCountsAreCorruptionNotOom) {
+  Built b = BuildWorldAndExpansion();
+  auto c = CompressedExpandedKb::FromExpanded(b.ekb, {});
+  ASSERT_TRUE(c.ok()) << c.status();
+  const std::string path = ::testing::TempDir() + "/cekb_forged_src.bin";
+  ASSERT_TRUE(c.value().Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  uint64_t meta_len = 0;
+  std::memcpy(&meta_len, bytes.data() + 8, sizeof(meta_len));
+  MetaFields original;
+  ASSERT_NO_FATAL_FAILURE(ParseMeta(bytes.substr(16, meta_len), &original));
+  ASSERT_FALSE(original.blocks.empty());
+
+  const std::string forged_path = ::testing::TempDir() + "/cekb_forged.bin";
+  auto open_forged = [&](const MetaFields& m) {
+    const std::string forged = ResealFile(bytes, m);
+    std::ofstream out(forged_path, std::ios::binary | std::ios::trunc);
+    out.write(forged.data(), static_cast<std::streamsize>(forged.size()));
+    out.close();
+    CompressedExpandedKb::Options options;
+    options.blocks_resident = true;
+    return CompressedExpandedKb::Open(forged_path, options);
+  };
+
+  // Case 1: the block-count header claims 2^31 blocks — under the 2^32
+  // structural cap, but 32 bytes of BlockInfo each would reserve 64 GB
+  // before the per-entry decode loop could notice the bytes run out.
+  // The checksum is valid, so only a byte-budget gate can stop it.
+  {
+    MetaFields m = original;
+    m.block_count_override = uint64_t{1} << 31;
+    auto loaded = open_forged(m);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+
+  // Case 2: one block claims 2^30 edges (with num_triples adjusted so the
+  // cross-block edge sum still balances). DecodePayload sizes its decoded
+  // edge buffer from that count — an 8 GB reserve for a block whose
+  // encoded form is a few KB. A valid block can never hold more edges
+  // than encoded bytes, so Open must reject the index entry up front.
+  {
+    MetaFields m = original;
+    const uint64_t lie = uint64_t{1} << 30;
+    m.num_triples += lie - m.blocks[0].num_edges;
+    m.blocks[0].num_edges = static_cast<uint32_t>(lie);
+    auto loaded = open_forged(m);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+
+  std::remove(path.c_str());
+  std::remove(forged_path.c_str());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <set>
 #include <string>
 #include <tuple>
@@ -23,6 +24,7 @@
 #include "nlp/pattern.h"
 #include "nlp/tokenizer.h"
 #include "rdf/expanded_predicate.h"
+#include "rdf/knowledge_base.h"
 #include "rdf/ntriples.h"
 #include "rdf/query.h"
 #include "util/rng.h"
@@ -420,6 +422,67 @@ TEST(FailureInjectionTest, TruncatedModelFilesNeverCrash) {
     auto loaded = core::LoadModel(world.kb, cut_path);
     EXPECT_FALSE(loaded.ok()) << "cut at " << cut << " of " << full;
     std::remove(cut_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjectionTest, ForgedModelHeadersAreCorruptionNotOomOrNan) {
+  // Hand-built model files with internally consistent structure but lying
+  // headers: LoadModel must reject each with a clean Corruption — never
+  // size a buffer from a length the file cannot hold, and never let a
+  // non-finite probability reach the distribution sort (NaN breaks its
+  // strict weak ordering).
+  rdf::KnowledgeBase kb;
+  rdf::PredId name = kb.AddPredicate("name");
+  kb.SetNamePredicate(name);
+  rdf::TermId e = kb.AddEntity("person/a");
+  kb.AddTriple(e, name, kb.AddLiteral("alice"));
+  kb.Freeze();
+
+  const std::string path = ::testing::TempDir() + "/forged_model.bin";
+  auto put_u64 = [](std::string* s, uint64_t v) {
+    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_str = [&put_u64](std::string* s, const std::string& v) {
+    put_u64(s, v.size());
+    *s += v;
+  };
+  auto load_bytes = [&](const std::string& bytes) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(out, nullptr);
+    EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    std::fclose(out);
+    return core::LoadModel(kb, path);
+  };
+  constexpr uint64_t kModelMagic = 0x4b42514d4f44454cULL;  // "KBQMODEL"
+
+  // A string length header claiming 1 GiB in a 24-byte file.
+  {
+    std::string bytes;
+    put_u64(&bytes, kModelMagic);
+    put_u64(&bytes, 1);                  // num_templates
+    put_u64(&bytes, uint64_t{1} << 30);  // template text "length"
+    auto loaded = load_bytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+
+  // A structurally valid model whose single entry carries a non-finite or
+  // negative probability.
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), -0.25}) {
+    std::string bytes;
+    put_u64(&bytes, kModelMagic);
+    put_u64(&bytes, 1);  // num_templates
+    put_str(&bytes, "who is $person");
+    put_u64(&bytes, 3);  // frequency
+    put_u64(&bytes, 1);  // dist_size
+    put_u64(&bytes, 1);  // path_len
+    put_str(&bytes, "name");
+    bytes.append(reinterpret_cast<const char*>(&bad), sizeof(bad));
+    auto loaded = load_bytes(bytes);
+    ASSERT_FALSE(loaded.ok()) << "probability " << bad;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << bad;
   }
   std::remove(path.c_str());
 }

@@ -328,6 +328,57 @@ TEST_F(ToyKbTest, LoadRejectsCorruptCsrOffsets) {
   std::remove(path.c_str());
 }
 
+TEST_F(ToyKbTest, LoadRejectsOversizedV2CountsBeforeAllocating) {
+  // The legacy v2 layout carries raw u64 counts with no checksum. A count
+  // that stays under the 2^32 structural cap but exceeds what the file
+  // could possibly hold must fail as a clean Corruption *before* any
+  // buffer is sized from it — otherwise a 16-byte file can demand a
+  // 34 GB offsets array.
+  std::string path = ::testing::TempDir() + "/oversized_v2.bin";
+  ASSERT_TRUE(kb_.Save(path, /*format_version=*/2).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  auto corrupt_u64_at = [&](std::string mutated, size_t pos, uint64_t value) {
+    std::memcpy(mutated.data() + pos, &value, sizeof(value));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    return KnowledgeBase::Load(path);
+  };
+
+  // Node-dictionary count claims ~4 billion entries right after the magic.
+  auto huge_dict = corrupt_u64_at(bytes, 8, 0xFFFFFFFFull);
+  ASSERT_FALSE(huge_dict.ok());
+  EXPECT_EQ(huge_dict.status().code(), StatusCode::kCorruption);
+
+  // Out-CSR edge count claims 2^30 edges (an 8 GB buffer), with the
+  // offsets tail patched to agree so the count/offsets cross-check alone
+  // would not catch the lie.
+  size_t node_blob = 0, pred_blob = 0;
+  for (TermId id = 0; id < kb_.num_nodes(); ++id) {
+    node_blob += kb_.NodeString(id).size();
+  }
+  for (PredId p = 0; p < kb_.num_predicates(); ++p) {
+    pred_blob += kb_.PredicateString(p).size();
+  }
+  const size_t out_csr = 8 + (8 + (kb_.num_nodes() + 1) * 8 + node_blob) +
+                         kb_.num_nodes() +
+                         (8 + (kb_.num_predicates() + 1) * 8 + pred_blob) + 4;
+  const size_t offsets_tail = out_csr + 8 + kb_.num_nodes() * 8;
+  ASSERT_LT(offsets_tail + 8, bytes.size());
+  std::string mutated = bytes;
+  const uint64_t huge_edges = uint64_t{1} << 30;
+  std::memcpy(mutated.data() + out_csr, &huge_edges, sizeof(huge_edges));
+  auto huge_csr = corrupt_u64_at(std::move(mutated), offsets_tail, huge_edges);
+  ASSERT_FALSE(huge_csr.ok());
+  EXPECT_EQ(huge_csr.status().code(), StatusCode::kCorruption);
+
+  std::remove(path.c_str());
+}
+
 TEST_F(ToyKbTest, V2SnapshotLoadsIdenticallyThroughV3Reader) {
   // Backward compat: the same frozen store written as v2 and as v3 must
   // load into element-for-element identical in-memory form.
